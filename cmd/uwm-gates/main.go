@@ -1,0 +1,303 @@
+// Command uwm-gates is the gate explorer: it builds any weird gate,
+// prints its disassembly (showing there is no architectural boolean
+// instruction behind the logic), runs its truth table, and optionally
+// sweeps its accuracy under a chosen noise profile.
+//
+// Usage:
+//
+//	uwm-gates -list
+//	uwm-gates -gate TSX_XOR -truth
+//	uwm-gates -gate AND -disasm
+//	uwm-gates -gate TSX_AND_OR -sweep 20000 -noise paper
+//	uwm-gates -registers                  # demo every Table 1 weird register
+//	uwm-gates -expr '(a ^ b) & !c'        # compile an expression to a weird circuit
+//	uwm-gates -emucheck                   # §2.1 emulation-detection probe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"uwm/internal/bexpr"
+	"uwm/internal/core"
+	"uwm/internal/cpu"
+	"uwm/internal/noise"
+	"uwm/internal/trace"
+)
+
+// gateRunner adapts both gate families to one explorer surface.
+type gateRunner struct {
+	name   string
+	arity  int
+	build  func(*core.Machine) (runner, error)
+	bpGate bool
+}
+
+type runner interface {
+	Run(in ...int) ([]int, error)
+	Disassemble() string
+	Golden(in []int) []int
+}
+
+type bpAdapter struct{ g *core.BPGate }
+
+func (a bpAdapter) Run(in ...int) ([]int, error) {
+	v, err := a.g.Run(in...)
+	return []int{v}, err
+}
+func (a bpAdapter) Disassemble() string   { return a.g.Program().Disassemble() }
+func (a bpAdapter) Golden(in []int) []int { return []int{a.g.Golden(in)} }
+
+type tsxAdapter struct{ g *core.TSXGate }
+
+func (a tsxAdapter) Run(in ...int) ([]int, error) { return a.g.Run(in...) }
+func (a tsxAdapter) Disassemble() string          { return a.g.Program().Disassemble() }
+func (a tsxAdapter) Golden(in []int) []int        { return a.g.Golden(in) }
+
+var gates = map[string]gateRunner{
+	"AND":        {arity: 2, bpGate: true, build: func(m *core.Machine) (runner, error) { g, err := core.NewBPAnd(m); return bpAdapter{g}, err }},
+	"OR":         {arity: 2, bpGate: true, build: func(m *core.Machine) (runner, error) { g, err := core.NewBPOr(m); return bpAdapter{g}, err }},
+	"NAND":       {arity: 2, bpGate: true, build: func(m *core.Machine) (runner, error) { g, err := core.NewBPNand(m); return bpAdapter{g}, err }},
+	"AND_AND_OR": {arity: 4, bpGate: true, build: func(m *core.Machine) (runner, error) { g, err := core.NewBPAndAndOr(m); return bpAdapter{g}, err }},
+	"TSX_ASSIGN": {arity: 1, build: func(m *core.Machine) (runner, error) { g, err := core.NewTSXAssign(m); return tsxAdapter{g}, err }},
+	"TSX_AND":    {arity: 2, build: func(m *core.Machine) (runner, error) { g, err := core.NewTSXAnd(m); return tsxAdapter{g}, err }},
+	"TSX_OR":     {arity: 2, build: func(m *core.Machine) (runner, error) { g, err := core.NewTSXOr(m); return tsxAdapter{g}, err }},
+	"TSX_AND_OR": {arity: 2, build: func(m *core.Machine) (runner, error) { g, err := core.NewTSXAndOr(m); return tsxAdapter{g}, err }},
+	"TSX_NOT":    {arity: 1, build: func(m *core.Machine) (runner, error) { g, err := core.NewTSXNot(m); return tsxAdapter{g}, err }},
+	"TSX_XOR":    {arity: 2, build: func(m *core.Machine) (runner, error) { g, err := core.NewTSXXor(m); return tsxAdapter{g}, err }},
+}
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list available gates")
+		gateName  = flag.String("gate", "", "gate to explore")
+		truth     = flag.Bool("truth", false, "run the gate's full truth table")
+		disasm    = flag.Bool("disasm", false, "print the gate program's disassembly")
+		sweep     = flag.Int("sweep", 0, "run N random operations and report accuracy")
+		noiseName = flag.String("noise", "quiet", "noise profile: quiet, paper, isolated, noisy")
+		registers = flag.Bool("registers", false, "demo every Table 1 weird register")
+		expr      = flag.String("expr", "", "compile a boolean expression (&, |, ^, !, parens) to a weird circuit and run its truth table")
+		emucheck  = flag.Bool("emucheck", false, "run the §2.1 emulation-detection probe (against both a real and an emulated machine)")
+		traceRun  = flag.Bool("trace", false, "with -gate: record one activation and print the two-plane event trace")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(gates))
+		for n := range gates {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%-12s %d input(s)\n", n, gates[n].arity)
+		}
+		return
+	}
+
+	cfg := noise.Quiet()
+	switch *noiseName {
+	case "quiet":
+	case "paper":
+		cfg = noise.Paper()
+	case "isolated":
+		cfg = noise.PaperIsolated()
+	case "noisy":
+		cfg = noise.Noisy()
+	default:
+		fmt.Fprintf(os.Stderr, "uwm-gates: unknown noise profile %q\n", *noiseName)
+		os.Exit(2)
+	}
+	m, err := core.NewMachine(core.Options{Seed: *seed, Noise: cfg, TrainIterations: 4})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *registers {
+		demoRegisters(m)
+		return
+	}
+
+	if *emucheck {
+		v, err := core.DetectEmulation(m, 32)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("this machine:   ", v)
+		emuCfg := cpu.DefaultConfig()
+		emuCfg.TSXWindow = 0 // an ISA-faithful emulator: no transient execution
+		emu, err := core.NewMachine(core.Options{Seed: *seed, CPU: &emuCfg})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
+			os.Exit(1)
+		}
+		v2, err := core.DetectEmulation(emu, 32)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("emulated model: ", v2)
+		return
+	}
+
+	if *expr != "" {
+		circ, vars, err := bexpr.Compile(m, *expr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("compiled %q over %v: %d chained transactions\n", *expr, vars, circ.Transactions())
+		e, _ := bexpr.Parse(*expr)
+		for v := 0; v < 1<<len(vars); v++ {
+			in := make([]int, len(vars))
+			env := map[string]int{}
+			for i, name := range vars {
+				in[i] = v >> i & 1
+				env[name] = in[i]
+			}
+			out, err := circ.Run(in...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  [%s] = %d  (expect %d)\n", bexpr.FormatAssignment(vars, in), out[0], e.Eval(env))
+		}
+		return
+	}
+
+	spec, ok := gates[*gateName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "uwm-gates: unknown gate %q (try -list)\n", *gateName)
+		os.Exit(2)
+	}
+	g, err := spec.build(m)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *disasm {
+		fmt.Print(g.Disassemble())
+	}
+	if *traceRun {
+		rec := trace.NewRecorder(0)
+		m.CPU().SetRecorder(rec)
+		in := make([]int, spec.arity)
+		for j := range in {
+			in[j] = 1
+		}
+		out, err := g.Run(in...)
+		m.CPU().SetRecorder(nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s%v = %v\n", *gateName, in, out)
+		arch, micro := 0, 0
+		for _, e := range rec.Events() {
+			plane := "μarch"
+			if e.Kind.Architectural() {
+				plane = "arch "
+				arch++
+			} else {
+				micro++
+			}
+			fmt.Printf("[%s] %s\n", plane, e)
+		}
+		fmt.Printf("\n%d architectural events (the debugger's view), %d microarchitectural (the computation)\n", arch, micro)
+	}
+	if *truth {
+		fmt.Printf("threshold: %d cycles\n", m.Threshold())
+		for c := 0; c < 1<<spec.arity; c++ {
+			in := make([]int, spec.arity)
+			for j := range in {
+				in[j] = (c >> j) & 1
+			}
+			out, err := g.Run(in...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s%v = %v  (expect %v)\n", *gateName, in, out, g.Golden(in))
+		}
+	}
+	if *sweep > 0 {
+		rng := noise.NewRNG(*seed + 99)
+		correct := 0
+		in := make([]int, spec.arity)
+		for i := 0; i < *sweep; i++ {
+			for j := range in {
+				in[j] = rng.Bit()
+			}
+			out, err := g.Run(in...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
+				os.Exit(1)
+			}
+			want := g.Golden(in)
+			ok := true
+			for k := range want {
+				if out[k] != want[k] {
+					ok = false
+				}
+			}
+			if ok {
+				correct++
+			}
+		}
+		fmt.Printf("%s: %d/%d correct (%.5f) under %s noise\n",
+			*gateName, correct, *sweep, float64(correct)/float64(*sweep), *noiseName)
+	}
+	if !*disasm && !*truth && *sweep == 0 && !*traceRun {
+		fmt.Fprintln(os.Stderr, "uwm-gates: nothing to do; pass -truth, -disasm or -sweep")
+		os.Exit(2)
+	}
+}
+
+// demoRegisters writes and reads back every Table 1 weird register.
+func demoRegisters(m *core.Machine) {
+	type namedWR struct {
+		name  string
+		build func() (core.WeirdRegister, error)
+	}
+	regs := []namedWR{
+		{"d-cache (DC-WR)", func() (core.WeirdRegister, error) { return core.NewDCWR(m) }},
+		{"i-cache (IC-WR)", func() (core.WeirdRegister, error) { return core.NewICWR(m) }},
+		{"branch predictor (BP-WR)", func() (core.WeirdRegister, error) { return core.NewBPWR(m) }},
+		{"BTB", func() (core.WeirdRegister, error) { return core.NewBTBWR(m) }},
+		{"mul contention", func() (core.WeirdRegister, error) { return core.NewMulWR(m) }},
+		{"ROB contention", func() (core.WeirdRegister, error) { return core.NewROBWR(m) }},
+	}
+	for _, r := range regs {
+		wr, err := r.build()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uwm-gates: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		okAll := true
+		for _, bit := range []int{0, 1, 1, 0} {
+			if err := wr.Write(bit); err != nil {
+				fmt.Fprintf(os.Stderr, "uwm-gates: %s write: %v\n", r.name, err)
+				os.Exit(1)
+			}
+			got, raw, err := wr.ReadRaw()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "uwm-gates: %s read: %v\n", r.name, err)
+				os.Exit(1)
+			}
+			if got != bit {
+				okAll = false
+			}
+			fmt.Printf("%-26s wrote %d read %d (latency %d cycles)\n", r.name, bit, got, raw)
+		}
+		if okAll {
+			fmt.Printf("%-26s OK\n\n", r.name)
+		} else {
+			fmt.Printf("%-26s MISREAD\n\n", r.name)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Covert channel over weird registers (paper §3.1): two parties that
+// never exchange architectural data communicate by writing and reading
+// a shared weird register. The demo sends a byte string over a
+// data-cache WR, then shows the volatile mul-contention WR losing a
+// bit that is read too late — the paper's volatility property.
+//
+//	go run ./examples/covertchannel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uwm/internal/core"
+	"uwm/internal/covert"
+	"uwm/internal/noise"
+)
+
+// sender and receiver share nothing but the machine (i.e. the core's
+// microarchitectural state) and the agreed-upon register.
+type sender struct{ wr core.WeirdRegister }
+
+func (s sender) sendByte(b byte) error {
+	for i := 0; i < 8; i++ {
+		if err := s.wr.Write(int(b >> uint(i) & 1)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type receiver struct{ wr core.WeirdRegister }
+
+func (r receiver) recvByte() (byte, error) {
+	var b byte
+	for i := 0; i < 8; i++ {
+		bit, err := r.wr.Read()
+		if err != nil {
+			return 0, err
+		}
+		if bit != 0 {
+			b |= 1 << uint(i)
+		}
+	}
+	return b, nil
+}
+
+func main() {
+	m, err := core.NewMachine(core.Options{Seed: 99, TrainIterations: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A d-cache weird register as the shared medium. Reads are
+	// destructive, so sender and receiver alternate bit by bit.
+	dc, err := core.NewDCWR(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tx := sender{wr: dc}
+	rx := receiver{wr: dc}
+
+	message := []byte("covert!")
+	fmt.Printf("sending %q one bit at a time through L1D residency...\n", message)
+	var got []byte
+	for _, b := range message {
+		// Interleave: write one bit, read it back before the next
+		// write (reading a DC-WR is invasive, §3.1).
+		var out byte
+		for i := 0; i < 8; i++ {
+			if err := dc.Write(int(b >> uint(i) & 1)); err != nil {
+				log.Fatal(err)
+			}
+			bit, err := dc.Read()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if bit != 0 {
+				out |= 1 << uint(i)
+			}
+		}
+		got = append(got, out)
+	}
+	fmt.Printf("received: %q\n", got)
+	_ = tx
+	_ = rx
+
+	// Volatility demo: a mul-contention register holds its bit for a
+	// few hundred cycles only.
+	mul, err := core.NewMulWR(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mul.Write(1); err != nil {
+		log.Fatal(err)
+	}
+	bit, err := mul.Read()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmul-contention WR read immediately after write(1): %d\n", bit)
+
+	if err := mul.Write(1); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := mul.Idle(); err != nil { // ~250 idle cycles each
+			log.Fatal(err)
+		}
+	}
+	bit, err = mul.Read()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mul-contention WR read after ~2000 idle cycles:   %d (value decayed — volatility)\n", bit)
+
+	// Capacity measurement: the covert package frames any weird
+	// register into a measured channel.
+	ch := covert.NewChannel(dc, 1)
+	rep, err := covert.Measure(m, ch, 4000, noise.NewRNG(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDC-WR channel: %s → %.0f bits/s at 2.3 GHz\n", rep, rep.BitsPerSecond(2.3e9))
+
+	// And the classic side channel the paper builds on (§2): a victim
+	// whose table index is a secret, an attacker who only flushes and
+	// times shared lines.
+	fr, err := covert.NewFlushReload(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	secret := byte(0xC3)
+	fr.PlantSecret(secret)
+	rec, err := fr.RecoverSecret(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flush+reload: planted %#02x in the victim, recovered %#02x from timing alone\n", secret, rec)
+}

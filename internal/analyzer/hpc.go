@@ -1,0 +1,137 @@
+package analyzer
+
+import (
+	"fmt"
+
+	"uwm/internal/cpu"
+)
+
+// HPC-based μWM detection (paper §7): performance-monitoring hardware
+// can flag the abnormal event mix weird machines produce — transaction
+// abort storms, mispredict-heavy phases, flush-dominated cache traffic.
+// The paper argues such detectors are trainable but evadable; this
+// model lets both sides be measured.
+//
+// HPCDetector samples the CPU's lifetime counters over a window of
+// committed instructions and scores the event rates against thresholds
+// calibrated on benign code.
+
+// HPCSample is one observation window of counter deltas.
+type HPCSample struct {
+	Committed      uint64
+	Mispredicts    uint64
+	SpecWindows    uint64
+	TxAborts       uint64
+	TxCommits      uint64
+	SpuriousAborts uint64
+}
+
+// MispredictRate returns mispredicts per committed instruction.
+func (s HPCSample) MispredictRate() float64 { return rate(s.Mispredicts, s.Committed) }
+
+// AbortRate returns transaction aborts per committed instruction.
+func (s HPCSample) AbortRate() float64 { return rate(s.TxAborts, s.Committed) }
+
+// AbortFraction returns aborts per transaction.
+func (s HPCSample) AbortFraction() float64 { return rate(s.TxAborts, s.TxAborts+s.TxCommits) }
+
+func rate(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// HPCThresholds calibrates the detector. The defaults flag behaviour
+// far outside anything benign code produces: benign programs commit
+// the vast majority of their transactions and mispredict on a few
+// percent of instructions, while μWM gates abort *by design* and
+// mistrain branches on purpose.
+type HPCThresholds struct {
+	// MaxMispredictRate is the benign ceiling for mispredicts per
+	// committed instruction.
+	MaxMispredictRate float64
+	// MaxAbortFraction is the benign ceiling for aborted transactions
+	// per transaction.
+	MaxAbortFraction float64
+	// MinEvents avoids judging windows with too little activity.
+	MinEvents uint64
+}
+
+// DefaultHPCThresholds returns the calibrated thresholds.
+func DefaultHPCThresholds() HPCThresholds {
+	return HPCThresholds{
+		// Benign loops mispredict well under 1% of instructions once
+		// warm; BP gates sit near 3% because every activation retrains.
+		MaxMispredictRate: 0.02,
+		// Benign transactional code commits almost always; a TSX gate
+		// aborts its fire transaction every single activation (≈50%
+		// counting its committing read transaction).
+		MaxAbortFraction: 0.35,
+		MinEvents:        64,
+	}
+}
+
+// HPCDetector watches one CPU's counters.
+type HPCDetector struct {
+	cpu  *cpu.CPU
+	th   HPCThresholds
+	last cpu.Stats
+}
+
+// NewHPCDetector attaches a detector to the machine's CPU.
+func NewHPCDetector(c *cpu.CPU, th HPCThresholds) *HPCDetector {
+	return &HPCDetector{cpu: c, th: th, last: c.Stats()}
+}
+
+// Sample returns the counter deltas since the previous Sample (or
+// attach) and advances the window.
+func (d *HPCDetector) Sample() HPCSample {
+	now := d.cpu.Stats()
+	s := HPCSample{
+		Committed:      now.Committed - d.last.Committed,
+		Mispredicts:    now.Mispredicts - d.last.Mispredicts,
+		SpecWindows:    now.SpecWindows - d.last.SpecWindows,
+		TxAborts:       now.TxAborts - d.last.TxAborts,
+		TxCommits:      now.TxCommits - d.last.TxCommits,
+		SpuriousAborts: now.SpuriousAborts - d.last.SpuriousAborts,
+	}
+	d.last = now
+	return s
+}
+
+// Verdict is an HPC detection decision.
+type Verdict struct {
+	Sample     HPCSample
+	Suspicious bool
+	Reasons    []string
+}
+
+// String renders the verdict for logs.
+func (v Verdict) String() string {
+	if !v.Suspicious {
+		return fmt.Sprintf("benign (mispredict %.3f/inst, abort fraction %.3f)",
+			v.Sample.MispredictRate(), v.Sample.AbortFraction())
+	}
+	return fmt.Sprintf("SUSPICIOUS: %v", v.Reasons)
+}
+
+// Judge samples the window and scores it.
+func (d *HPCDetector) Judge() Verdict {
+	s := d.Sample()
+	v := Verdict{Sample: s}
+	if s.Committed < d.th.MinEvents {
+		return v
+	}
+	if r := s.MispredictRate(); r > d.th.MaxMispredictRate {
+		v.Suspicious = true
+		v.Reasons = append(v.Reasons, fmt.Sprintf("mispredict rate %.3f/inst exceeds %.3f", r, d.th.MaxMispredictRate))
+	}
+	if s.TxAborts+s.TxCommits >= 4 {
+		if f := s.AbortFraction(); f > d.th.MaxAbortFraction {
+			v.Suspicious = true
+			v.Reasons = append(v.Reasons, fmt.Sprintf("tx abort fraction %.3f exceeds %.3f", f, d.th.MaxAbortFraction))
+		}
+	}
+	return v
+}

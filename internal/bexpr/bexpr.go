@@ -1,0 +1,357 @@
+// Package bexpr parses boolean expressions into weird-circuit netlists,
+// the front end of the obfuscation workflow: write the sensitive
+// predicate as an expression, compile it to a chain of transactions,
+// and the logic disappears from the architectural plane.
+//
+// Grammar (precedence low→high: |, ^, &, !):
+//
+//	expr   := xor { "|" xor }
+//	xor    := term { "^" term }
+//	term   := factor { "&" factor }
+//	factor := "!" factor | "(" expr ")" | ident | "0" | "1"
+//
+// Identifiers are [A-Za-z_][A-Za-z0-9_]*; each distinct identifier
+// becomes one circuit input, in first-appearance order. Constants are
+// folded before lowering.
+package bexpr
+
+import (
+	"fmt"
+	"strings"
+
+	"uwm/internal/core"
+)
+
+// Expr is a parsed boolean expression tree.
+type Expr interface {
+	// Eval computes the expression under an assignment.
+	Eval(env map[string]int) int
+	// String renders the expression with full parenthesization.
+	String() string
+}
+
+// Var is an input variable reference.
+type Var struct{ Name string }
+
+// Const is a literal 0 or 1.
+type Const struct{ Value int }
+
+// Unary is a negation.
+type Unary struct{ X Expr }
+
+// Binary is a two-operand node with Op one of '&', '|', '^'.
+type Binary struct {
+	Op   byte
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (v Var) Eval(env map[string]int) int { return env[v.Name] & 1 }
+
+// Eval implements Expr.
+func (c Const) Eval(map[string]int) int { return c.Value & 1 }
+
+// Eval implements Expr.
+func (u Unary) Eval(env map[string]int) int { return 1 - u.X.Eval(env) }
+
+// Eval implements Expr.
+func (b Binary) Eval(env map[string]int) int {
+	l, r := b.L.Eval(env), b.R.Eval(env)
+	switch b.Op {
+	case '&':
+		return l & r
+	case '|':
+		return l | r
+	case '^':
+		return l ^ r
+	default:
+		panic("bexpr: bad operator")
+	}
+}
+
+// String implements Expr.
+func (v Var) String() string { return v.Name }
+
+// String implements Expr.
+func (c Const) String() string { return fmt.Sprintf("%d", c.Value&1) }
+
+// String implements Expr.
+func (u Unary) String() string { return "!" + u.X.String() }
+
+// String implements Expr.
+func (b Binary) String() string {
+	return fmt.Sprintf("(%s %c %s)", b.L, b.Op, b.R)
+}
+
+// parser is a recursive-descent parser over a byte cursor.
+type parser struct {
+	src string
+	pos int
+}
+
+// Parse parses one boolean expression.
+func Parse(src string) (Expr, error) {
+	p := &parser{src: src}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("bexpr: unexpected %q at offset %d", p.src[p.pos], p.pos)
+	}
+	return e, nil
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// accept consumes c if it is next.
+func (p *parser) accept(c byte) bool {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept('|') {
+		r, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: '|', L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseXor() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept('^') {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: '^', L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept('&') {
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: '&', L: l, R: r}
+	}
+	return l, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("bexpr: unexpected end of expression")
+	}
+	switch c := p.src[p.pos]; {
+	case c == '!':
+		p.pos++
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{X: x}, nil
+	case c == '(':
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(')') {
+			return nil, fmt.Errorf("bexpr: missing ')' at offset %d", p.pos)
+		}
+		return e, nil
+	case c == '0', c == '1':
+		p.pos++
+		return Const{Value: int(c - '0')}, nil
+	case isIdentStart(c):
+		start := p.pos
+		for p.pos < len(p.src) && isIdentCont(p.src[p.pos]) {
+			p.pos++
+		}
+		return Var{Name: p.src[start:p.pos]}, nil
+	default:
+		return nil, fmt.Errorf("bexpr: unexpected %q at offset %d", c, p.pos)
+	}
+}
+
+// Vars returns the expression's variables in first-appearance order.
+func Vars(e Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case Var:
+			if !seen[v.Name] {
+				seen[v.Name] = true
+				out = append(out, v.Name)
+			}
+		case Unary:
+			walk(v.X)
+		case Binary:
+			walk(v.L)
+			walk(v.R)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// fold performs constant folding so circuits never burn transactions on
+// literals.
+func fold(e Expr) Expr {
+	switch v := e.(type) {
+	case Unary:
+		x := fold(v.X)
+		if c, ok := x.(Const); ok {
+			return Const{Value: 1 - c.Value}
+		}
+		return Unary{X: x}
+	case Binary:
+		l, r := fold(v.L), fold(v.R)
+		lc, lok := l.(Const)
+		rc, rok := r.(Const)
+		if lok && rok {
+			return Const{Value: Binary{Op: v.Op, L: lc, R: rc}.Eval(nil)}
+		}
+		// Identity/annihilator simplifications for one constant side:
+		// normalize the constant to the right (all three ops commute).
+		if lok && !rok {
+			l = r
+			rc, rok = lc, true
+		}
+		if rok {
+			switch {
+			case v.Op == '&' && rc.Value == 1, v.Op == '|' && rc.Value == 0, v.Op == '^' && rc.Value == 0:
+				return l
+			case v.Op == '&' && rc.Value == 0:
+				return Const{Value: 0}
+			case v.Op == '|' && rc.Value == 1:
+				return Const{Value: 1}
+			case v.Op == '^' && rc.Value == 1:
+				return Unary{X: l}
+			}
+		}
+		return Binary{Op: v.Op, L: l, R: r}
+	default:
+		return e
+	}
+}
+
+// Lowered is a netlist compiled from an expression.
+type Lowered struct {
+	Spec *core.CircuitSpec
+	// Inputs maps circuit input index → variable name.
+	Inputs []string
+}
+
+// Lower compiles an expression to a single-output weird-circuit
+// netlist. Constant-only expressions lower to an assignment of a
+// pre-set input wire would be pointless, so they are rejected — fold
+// them architecturally instead.
+func Lower(e Expr) (*Lowered, error) {
+	e = fold(e)
+	if _, ok := e.(Const); ok {
+		return nil, fmt.Errorf("bexpr: expression folds to a constant")
+	}
+	vars := Vars(e)
+	index := map[string]int{}
+	for i, v := range vars {
+		index[v] = i
+	}
+	spec := core.NewCircuitSpec(len(vars))
+
+	var lower func(Expr) core.WireID
+	lower = func(e Expr) core.WireID {
+		switch v := e.(type) {
+		case Var:
+			return core.WireID(index[v.Name])
+		case Unary:
+			return spec.Not(lower(v.X))
+		case Binary:
+			a := lower(v.L)
+			b := lower(v.R)
+			switch v.Op {
+			case '&':
+				return spec.And(a, b)
+			case '|':
+				return spec.Or(a, b)
+			case '^':
+				return spec.Xor(a, b)
+			}
+		}
+		panic("bexpr: unreachable")
+	}
+	out := lower(e)
+	// A bare variable lowers to a wire that is both input and output;
+	// give it an explicit pass-through gate so reads have their copy.
+	if int(out) < spec.NumInputs {
+		out = spec.Assign(out)
+	}
+	spec.Output(out)
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("bexpr: lowering bug: %w", err)
+	}
+	return &Lowered{Spec: spec, Inputs: vars}, nil
+}
+
+// Compile parses, lowers and compiles an expression onto a machine.
+func Compile(m *core.Machine, src string) (*core.Circuit, []string, error) {
+	e, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	low, err := Lower(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := core.CompileCircuit(m, low.Spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, low.Inputs, nil
+}
+
+// FormatAssignment renders an input assignment for diagnostics.
+func FormatAssignment(vars []string, bits []int) string {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		parts[i] = fmt.Sprintf("%s=%d", v, bits[i]&1)
+	}
+	return strings.Join(parts, " ")
+}

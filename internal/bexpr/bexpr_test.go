@@ -1,0 +1,208 @@
+package bexpr
+
+import (
+	"strings"
+	"testing"
+
+	"uwm/internal/core"
+	"uwm/internal/noise"
+)
+
+func mustParse(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return e
+}
+
+func TestParsePrecedence(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"a & b | c", "((a & b) | c)"},
+		{"a | b & c", "(a | (b & c))"},
+		{"a ^ b & c", "(a ^ (b & c))"},
+		{"a | b ^ c", "(a | (b ^ c))"},
+		{"!a & b", "(!a & b)"},
+		{"!(a & b)", "!(a & b)"},
+		{"a & (b | c)", "(a & (b | c))"},
+		{"!!a", "!!a"},
+		{"a&b&c", "((a & b) & c)"},
+	}
+	for _, c := range cases {
+		if got := mustParse(t, c.src).String(); got != c.want {
+			t.Errorf("Parse(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{"", "a &", "& a", "(a", "a)", "a $ b", "a b", "!", "()"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestEvalExhaustive(t *testing.T) {
+	e := mustParse(t, "(a ^ b) & !c | d")
+	for v := 0; v < 16; v++ {
+		env := map[string]int{"a": v & 1, "b": v >> 1 & 1, "c": v >> 2 & 1, "d": v >> 3 & 1}
+		want := (env["a"]^env["b"])&(1-env["c"]) | env["d"]
+		if got := e.Eval(env); got != want {
+			t.Errorf("eval %v = %d, want %d", env, got, want)
+		}
+	}
+}
+
+func TestVarsOrder(t *testing.T) {
+	e := mustParse(t, "b & a | b ^ c")
+	got := Vars(e)
+	want := []string{"b", "a", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("vars = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"a & 1", "a"},
+		{"a & 0 | b", "b"},
+		{"a | 1 | b", "1"},
+		{"a ^ 0", "a"},
+		{"a ^ 1", "!a"},
+		{"!0 & a", "a"},
+		{"1 & 0", "0"},
+	}
+	for _, c := range cases {
+		if got := fold(mustParse(t, c.src)).String(); got != c.want {
+			t.Errorf("fold(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestLowerRejectsConstants(t *testing.T) {
+	if _, err := Lower(mustParse(t, "1 | 0")); err == nil {
+		t.Error("constant expression lowered")
+	}
+}
+
+func TestLowerSpecMatchesEval(t *testing.T) {
+	for _, src := range []string{
+		"a & b", "a | b", "a ^ b", "!a", "a",
+		"(a ^ b) & c", "!(a & b) | (c ^ a)", "a & 1 | b & 0",
+	} {
+		low, err := Lower(mustParse(t, src))
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		n := len(low.Inputs)
+		for v := 0; v < 1<<n; v++ {
+			in := make([]int, n)
+			env := map[string]int{}
+			for i, name := range low.Inputs {
+				in[i] = v >> i & 1
+				env[name] = in[i]
+			}
+			out, err := low.Spec.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := mustParse(t, src).Eval(env); out[0] != want {
+				t.Errorf("%q %v: netlist %d, expr %d", src, env, out[0], want)
+			}
+		}
+	}
+}
+
+// TestCompiledExpressionOnWeirdMachine is the end-to-end check: parse →
+// lower → compile → run on the μWM → compare against direct evaluation.
+func TestCompiledExpressionOnWeirdMachine(t *testing.T) {
+	m, err := core.NewMachine(core.Options{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{"a & b", "a ^ b", "!(a & b) | c"} {
+		circ, vars, err := Compile(m, src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		n := len(vars)
+		for v := 0; v < 1<<n; v++ {
+			in := make([]int, n)
+			env := map[string]int{}
+			for i, name := range vars {
+				in[i] = v >> i & 1
+				env[name] = in[i]
+			}
+			got, err := circ.Run(in...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := mustParse(t, src).Eval(env); got[0] != want {
+				t.Errorf("%q [%s]: μWM %d, want %d", src, FormatAssignment(vars, in), got[0], want)
+			}
+		}
+	}
+}
+
+// TestRandomExpressionsProperty generates random expressions and checks
+// netlist evaluation against tree evaluation on random assignments.
+func TestRandomExpressionsProperty(t *testing.T) {
+	rng := noise.NewRNG(8)
+	names := []string{"a", "b", "c", "d"}
+	var gen func(depth int) string
+	gen = func(depth int) string {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return names[rng.Intn(len(names))]
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return "!(" + gen(depth-1) + ")"
+		case 1:
+			return "(" + gen(depth-1) + " & " + gen(depth-1) + ")"
+		case 2:
+			return "(" + gen(depth-1) + " | " + gen(depth-1) + ")"
+		default:
+			return "(" + gen(depth-1) + " ^ " + gen(depth-1) + ")"
+		}
+	}
+	for trial := 0; trial < 60; trial++ {
+		src := gen(3)
+		e := mustParse(t, src)
+		low, err := Lower(e)
+		if err != nil {
+			continue // folded to a constant
+		}
+		for rep := 0; rep < 8; rep++ {
+			in := make([]int, len(low.Inputs))
+			env := map[string]int{}
+			for i, name := range low.Inputs {
+				in[i] = rng.Bit()
+				env[name] = in[i]
+			}
+			out, err := low.Spec.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[0] != e.Eval(env) {
+				t.Fatalf("%q diverges on %v", src, env)
+			}
+		}
+	}
+}
+
+func TestFormatAssignment(t *testing.T) {
+	got := FormatAssignment([]string{"x", "y"}, []int{1, 0})
+	if got != "x=1 y=0" {
+		t.Errorf("format = %q", got)
+	}
+	if !strings.Contains(mustParse(t, "x & y").String(), "&") {
+		t.Error("string rendering broken")
+	}
+}

@@ -1,0 +1,27 @@
+package bexpr_test
+
+import (
+	"fmt"
+
+	"uwm/internal/bexpr"
+	"uwm/internal/core"
+)
+
+// ExampleCompile turns a boolean expression into a weird circuit and
+// evaluates it on the simulated microarchitecture.
+func ExampleCompile() {
+	m := core.MustNewMachine(core.Options{Seed: 4})
+	circ, vars, err := bexpr.Compile(m, "(a ^ b) & !c")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("inputs:", vars)
+	out, err := circ.Run(1, 0, 0) // a=1 b=0 c=0
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("result:", out[0])
+	// Output:
+	// inputs: [a b c]
+	// result: 1
+}

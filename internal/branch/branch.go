@@ -1,0 +1,219 @@
+// Package branch models the branch prediction unit (BPU): a direction
+// predictor built from 2-bit saturating counters (optionally gshare-style
+// history hashing), a branch target buffer, and a return stack buffer.
+//
+// The BP-WR weird register of the paper is the trained state of one
+// direction-predictor entry: training the branch "taken" stores a 0,
+// training it "not taken" stores a 1 (because a not-taken prediction is
+// what opens the speculative window over the gate body). The predictor's
+// aliasing behaviour is faithful to small per-PC counter tables, which is
+// what makes training from a separate code location possible.
+package branch
+
+import "uwm/internal/mem"
+
+// Counter is a 2-bit saturating counter. States 0–1 predict not taken,
+// 2–3 predict taken.
+type Counter uint8
+
+// Predict reports the counter's current prediction.
+func (c Counter) Predict() bool { return c >= 2 }
+
+// Update trains the counter toward the observed outcome.
+func (c Counter) Update(taken bool) Counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// DirectionPredictor predicts conditional branch directions.
+type DirectionPredictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc mem.Addr) bool
+	// Update trains the predictor with the resolved direction.
+	Update(pc mem.Addr, taken bool)
+	// Reset restores the power-on state (weakly not-taken).
+	Reset()
+}
+
+// Bimodal is a per-PC table of 2-bit counters indexed by hashed PC, the
+// classic direction predictor and the structure BranchScope-style weird
+// registers manipulate.
+type Bimodal struct {
+	table []Counter
+}
+
+// NewBimodal returns a Bimodal predictor with size entries (power of two
+// recommended; size must be positive).
+func NewBimodal(size int) *Bimodal {
+	if size <= 0 {
+		panic("branch: predictor size must be positive")
+	}
+	return &Bimodal{table: make([]Counter, size)}
+}
+
+func (b *Bimodal) index(pc mem.Addr) int {
+	return int(uint64(pc) / 4 % uint64(len(b.table)))
+}
+
+// Predict implements DirectionPredictor.
+func (b *Bimodal) Predict(pc mem.Addr) bool { return b.table[b.index(pc)].Predict() }
+
+// Update implements DirectionPredictor.
+func (b *Bimodal) Update(pc mem.Addr, taken bool) {
+	i := b.index(pc)
+	b.table[i] = b.table[i].Update(taken)
+}
+
+// Reset implements DirectionPredictor.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 0
+	}
+}
+
+// Counter returns the raw 2-bit state for the branch at pc, exposed for
+// tests that verify training semantics.
+func (b *Bimodal) Counter(pc mem.Addr) Counter { return b.table[b.index(pc)] }
+
+// GShare xors a global history register into the table index. It models
+// the pattern-detecting behaviour the paper cites as a hazard: "when the
+// WG code attempts to repeatedly mistrain a certain branch, the BPU
+// quickly learns this pattern" (§4). The gshare ablation benchmarks show
+// BP-gate accuracy degrading under history-based prediction.
+type GShare struct {
+	table   []Counter
+	history uint64
+	bits    uint
+}
+
+// NewGShare returns a GShare predictor with size entries and historyBits
+// bits of global history.
+func NewGShare(size int, historyBits uint) *GShare {
+	if size <= 0 {
+		panic("branch: predictor size must be positive")
+	}
+	return &GShare{table: make([]Counter, size), bits: historyBits}
+}
+
+func (g *GShare) index(pc mem.Addr) int {
+	mask := (uint64(1) << g.bits) - 1
+	return int((uint64(pc)/4 ^ (g.history & mask)) % uint64(len(g.table)))
+}
+
+// Predict implements DirectionPredictor.
+func (g *GShare) Predict(pc mem.Addr) bool { return g.table[g.index(pc)].Predict() }
+
+// Update implements DirectionPredictor.
+func (g *GShare) Update(pc mem.Addr, taken bool) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].Update(taken)
+	g.history <<= 1
+	if taken {
+		g.history |= 1
+	}
+}
+
+// Reset implements DirectionPredictor.
+func (g *GShare) Reset() {
+	for i := range g.table {
+		g.table[i] = 0
+	}
+	g.history = 0
+}
+
+// BTB is a small direct-mapped branch target buffer. BTB-based weird
+// registers (Table 1) store a bit as which target is cached for a jump:
+// reading measures whether the prediction was correct.
+type BTB struct {
+	entries []btbEntry
+}
+
+type btbEntry struct {
+	valid  bool
+	pc     mem.Addr
+	target mem.Addr
+}
+
+// NewBTB returns a BTB with size entries.
+func NewBTB(size int) *BTB {
+	if size <= 0 {
+		panic("branch: BTB size must be positive")
+	}
+	return &BTB{entries: make([]btbEntry, size)}
+}
+
+func (b *BTB) index(pc mem.Addr) int {
+	return int(uint64(pc) / 4 % uint64(len(b.entries)))
+}
+
+// Lookup returns the predicted target for the branch at pc, if any.
+func (b *BTB) Lookup(pc mem.Addr) (mem.Addr, bool) {
+	e := b.entries[b.index(pc)]
+	if e.valid && e.pc == pc {
+		return e.target, true
+	}
+	return 0, false
+}
+
+// Update records the resolved target of the branch at pc.
+func (b *BTB) Update(pc, target mem.Addr) {
+	b.entries[b.index(pc)] = btbEntry{valid: true, pc: pc, target: target}
+}
+
+// Reset invalidates all entries.
+func (b *BTB) Reset() {
+	for i := range b.entries {
+		b.entries[i] = btbEntry{}
+	}
+}
+
+// RSB is a fixed-depth return stack buffer; provided for model
+// completeness (call/return prediction) though the paper's gates do not
+// exploit it.
+type RSB struct {
+	stack []mem.Addr
+	depth int
+}
+
+// NewRSB returns an RSB with the given depth.
+func NewRSB(depth int) *RSB {
+	if depth <= 0 {
+		panic("branch: RSB depth must be positive")
+	}
+	return &RSB{depth: depth}
+}
+
+// Push records a call's return address, dropping the oldest entry on
+// overflow (as hardware does).
+func (r *RSB) Push(ret mem.Addr) {
+	if len(r.stack) == r.depth {
+		copy(r.stack, r.stack[1:])
+		r.stack = r.stack[:r.depth-1]
+	}
+	r.stack = append(r.stack, ret)
+}
+
+// Pop predicts the return address for a ret, reporting false on
+// underflow.
+func (r *RSB) Pop() (mem.Addr, bool) {
+	if len(r.stack) == 0 {
+		return 0, false
+	}
+	v := r.stack[len(r.stack)-1]
+	r.stack = r.stack[:len(r.stack)-1]
+	return v, true
+}
+
+// Depth returns the number of live entries.
+func (r *RSB) Depth() int { return len(r.stack) }
+
+// Reset empties the stack.
+func (r *RSB) Reset() { r.stack = r.stack[:0] }

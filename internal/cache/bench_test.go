@@ -1,0 +1,47 @@
+package cache
+
+import (
+	"testing"
+
+	"uwm/internal/mem"
+)
+
+// BenchmarkHierarchyHit measures the L1-hit fast path.
+func BenchmarkHierarchyHit(b *testing.B) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.LoadData(0x1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.LoadData(0x1000)
+	}
+}
+
+// BenchmarkHierarchyMissSweep measures repeated full-hierarchy misses.
+func BenchmarkHierarchyMissSweep(b *testing.B) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := mem.Addr(i) * 64 % (1 << 24)
+		h.LoadData(addr)
+	}
+}
+
+// BenchmarkFlushTouch measures the flush/refill cycle every weird
+// register write performs.
+func BenchmarkFlushTouch(b *testing.B) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.FlushData(0x2000)
+		h.LoadData(0x2000)
+	}
+}
+
+// BenchmarkLRUInsert measures raw set-associative insertion.
+func BenchmarkLRUInsert(b *testing.B) {
+	c := New(Config{Name: "b", Sets: 64, Ways: 8, Latency: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(mem.Addr(i*64) % (1 << 20))
+	}
+}

@@ -1,0 +1,302 @@
+// Package cache models the set-associative cache hierarchy the μWM
+// computes with. Weird registers store bits as the presence or absence of
+// a line in a cache; weird gates read them back as the latency of a load.
+// The model therefore tracks presence, replacement state and per-level
+// latency, but not data contents (data lives in package mem — caches in
+// this simulator are a pure timing structure, which is exactly the aspect
+// the paper exploits).
+package cache
+
+import (
+	"fmt"
+
+	"uwm/internal/mem"
+)
+
+// ReplacementPolicy selects a victim way within a set and tracks
+// recency. Implementations: LRU and tree-PLRU (the two policies found in
+// the paper's target parts; LRU-state weird registers in Table 1 rely on
+// this state being real).
+type ReplacementPolicy interface {
+	// Touch records a hit on way w of set s.
+	Touch(s, w int)
+	// Victim returns the way to evict from set s.
+	Victim(s int) int
+	// Reset clears all recency state.
+	Reset()
+}
+
+// LRU is a true least-recently-used policy.
+type LRU struct {
+	ways  int
+	stamp [][]uint64
+	clock uint64
+}
+
+// NewLRU returns an LRU policy for sets×ways.
+func NewLRU(sets, ways int) *LRU {
+	l := &LRU{ways: ways, stamp: make([][]uint64, sets)}
+	for i := range l.stamp {
+		l.stamp[i] = make([]uint64, ways)
+	}
+	return l
+}
+
+// Touch implements ReplacementPolicy.
+func (l *LRU) Touch(s, w int) {
+	l.clock++
+	l.stamp[s][w] = l.clock
+}
+
+// Victim implements ReplacementPolicy.
+func (l *LRU) Victim(s int) int {
+	best, bestStamp := 0, l.stamp[s][0]
+	for w := 1; w < l.ways; w++ {
+		if l.stamp[s][w] < bestStamp {
+			best, bestStamp = w, l.stamp[s][w]
+		}
+	}
+	return best
+}
+
+// Reset implements ReplacementPolicy.
+func (l *LRU) Reset() {
+	for s := range l.stamp {
+		for w := range l.stamp[s] {
+			l.stamp[s][w] = 0
+		}
+	}
+	l.clock = 0
+}
+
+// TreePLRU is the binary-tree pseudo-LRU policy used by Intel L1 caches.
+// Ways must be a power of two.
+type TreePLRU struct {
+	ways int
+	bits [][]bool // per set: ways-1 internal tree nodes
+}
+
+// NewTreePLRU returns a tree-PLRU policy for sets×ways.
+func NewTreePLRU(sets, ways int) *TreePLRU {
+	if ways&(ways-1) != 0 {
+		panic(fmt.Sprintf("cache: tree-PLRU needs power-of-two ways, got %d", ways))
+	}
+	t := &TreePLRU{ways: ways, bits: make([][]bool, sets)}
+	for i := range t.bits {
+		t.bits[i] = make([]bool, ways-1)
+	}
+	return t
+}
+
+// Touch implements ReplacementPolicy: flip tree nodes away from way w.
+func (t *TreePLRU) Touch(s, w int) {
+	node := 0
+	lo, hi := 0, t.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if w < mid {
+			t.bits[s][node] = true // point away: right half is older
+			node = 2*node + 1
+			hi = mid
+		} else {
+			t.bits[s][node] = false
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+// Victim implements ReplacementPolicy: follow tree nodes toward the
+// pseudo-least-recently-used way.
+func (t *TreePLRU) Victim(s int) int {
+	node := 0
+	lo, hi := 0, t.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if t.bits[s][node] {
+			node = 2*node + 2
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Reset implements ReplacementPolicy.
+func (t *TreePLRU) Reset() {
+	for s := range t.bits {
+		for i := range t.bits[s] {
+			t.bits[s][i] = false
+		}
+	}
+}
+
+// Config describes one cache level's geometry.
+type Config struct {
+	Name    string
+	Sets    int
+	Ways    int
+	Latency int64 // hit latency in cycles
+	PLRU    bool  // tree-PLRU instead of true LRU
+}
+
+// Stats counts accesses per cache.
+type Stats struct {
+	Hits, Misses, Evictions, Flushes uint64
+}
+
+// Cache is one set-associative cache level. Lines are identified by their
+// line address; contents are not stored.
+type Cache struct {
+	cfg    Config
+	tags   [][]mem.Addr // line address per way; 0 means invalid
+	valid  [][]bool
+	policy ReplacementPolicy
+	stats  Stats
+}
+
+// New returns an empty cache with the given geometry.
+func New(cfg Config) *Cache {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %s: invalid geometry %d×%d", cfg.Name, cfg.Sets, cfg.Ways))
+	}
+	c := &Cache{
+		cfg:   cfg,
+		tags:  make([][]mem.Addr, cfg.Sets),
+		valid: make([][]bool, cfg.Sets),
+	}
+	for i := 0; i < cfg.Sets; i++ {
+		c.tags[i] = make([]mem.Addr, cfg.Ways)
+		c.valid[i] = make([]bool, cfg.Ways)
+	}
+	if cfg.PLRU {
+		c.policy = NewTreePLRU(cfg.Sets, cfg.Ways)
+	} else {
+		c.policy = NewLRU(cfg.Sets, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache's geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns access counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// SetIndex returns the set index of addr in this cache.
+func (c *Cache) SetIndex(addr mem.Addr) int {
+	return int(uint64(addr.Line()) / mem.LineSize % uint64(c.cfg.Sets))
+}
+
+// Contains reports whether addr's line is present, without touching
+// replacement state (a pure probe, used by tests and the analyzer — real
+// attackers cannot do this, which tests make explicit).
+func (c *Cache) Contains(addr mem.Addr) bool {
+	line := addr.Line()
+	s := c.SetIndex(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[s][w] && c.tags[s][w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Access looks up addr, updating recency on hit. It reports hit/miss and
+// does not fill on miss (Hierarchy decides fills).
+func (c *Cache) Access(addr mem.Addr) bool {
+	line := addr.Line()
+	s := c.SetIndex(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[s][w] && c.tags[s][w] == line {
+			c.policy.Touch(s, w)
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Insert fills addr's line, evicting the policy's victim if the set is
+// full. It returns the evicted line address, if any.
+func (c *Cache) Insert(addr mem.Addr) (evicted mem.Addr, didEvict bool) {
+	line := addr.Line()
+	s := c.SetIndex(addr)
+	// Already present: just touch.
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[s][w] && c.tags[s][w] == line {
+			c.policy.Touch(s, w)
+			return 0, false
+		}
+	}
+	// Free way?
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.valid[s][w] {
+			c.valid[s][w] = true
+			c.tags[s][w] = line
+			c.policy.Touch(s, w)
+			return 0, false
+		}
+	}
+	// Evict.
+	w := c.policy.Victim(s)
+	evicted = c.tags[s][w]
+	c.tags[s][w] = line
+	c.policy.Touch(s, w)
+	c.stats.Evictions++
+	return evicted, true
+}
+
+// Flush invalidates addr's line if present, reporting whether it was.
+func (c *Cache) Flush(addr mem.Addr) bool {
+	line := addr.Line()
+	s := c.SetIndex(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[s][w] && c.tags[s][w] == line {
+			c.valid[s][w] = false
+			c.stats.Flushes++
+			return true
+		}
+	}
+	return false
+}
+
+// FlushAll empties the cache.
+func (c *Cache) FlushAll() {
+	for s := range c.valid {
+		for w := range c.valid[s] {
+			c.valid[s][w] = false
+		}
+	}
+	c.policy.Reset()
+}
+
+// SetContents returns the line addresses currently valid in addr's set,
+// a diagnostic probe for eviction-set debugging.
+func (c *Cache) SetContents(addr mem.Addr) []mem.Addr {
+	s := c.SetIndex(addr)
+	var out []mem.Addr
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[s][w] {
+			out = append(out, c.tags[s][w])
+		}
+	}
+	return out
+}
+
+// SetOccupancy returns how many ways of addr's set are valid, used by
+// eviction-set constructions (the NOT/NAND gates evict a line by filling
+// its set).
+func (c *Cache) SetOccupancy(addr mem.Addr) int {
+	s := c.SetIndex(addr)
+	n := 0
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[s][w] {
+			n++
+		}
+	}
+	return n
+}

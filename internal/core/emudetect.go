@@ -1,0 +1,66 @@
+package core
+
+import "fmt"
+
+// Emulation detection (paper §2.1, "Preventing emulation"): a μWM can
+// refuse to compute anywhere but on real hardware, because emulators
+// and binary-analysis sandboxes implement the ISA but not the
+// microarchitectural side effects the gates compute with. An emulator
+// that executes a TSX region "correctly" — rolling the abort back with
+// no transient window — never fills the gate's output line, so an
+// assignment of 1 reads back 0.
+//
+// DetectEmulation runs that probe: it fires a TSX assign gate with
+// input 1 a number of times and reports the observed pass rate. On
+// real hardware (a simulator configured with transient windows) the
+// rate sits near the gate's accuracy (≳0.9); on an emulator (window
+// length zero) it is ≈0.
+
+// EmulationVerdict is the result of an emulation-detection probe.
+type EmulationVerdict struct {
+	Trials   int
+	Passed   int // probes whose value survived the microarchitecture
+	PassRate float64
+	// RealHardware is the verdict: true when the transient channel
+	// works well enough to carry computation.
+	RealHardware bool
+}
+
+// String renders the verdict for logs.
+func (v EmulationVerdict) String() string {
+	kind := "EMULATED (no transient execution observed)"
+	if v.RealHardware {
+		kind = "real hardware (transient channel works)"
+	}
+	return fmt.Sprintf("%d/%d probes passed (%.2f): %s", v.Passed, v.Trials, v.PassRate, kind)
+}
+
+// emulationThreshold is the pass-rate boundary between "transient
+// channel works" and "no transient execution": real gates sit above
+// 0.9, emulators at ≈0 (stray fills only).
+const emulationThreshold = 0.5
+
+// DetectEmulation probes the machine trials times. It builds its own
+// assign gate on m.
+func DetectEmulation(m *Machine, trials int) (EmulationVerdict, error) {
+	if trials <= 0 {
+		trials = 16
+	}
+	g, err := NewTSXAssign(m)
+	if err != nil {
+		return EmulationVerdict{}, err
+	}
+	v := EmulationVerdict{Trials: trials}
+	for i := 0; i < trials; i++ {
+		out, err := g.Run(1)
+		if err != nil {
+			return v, err
+		}
+		if out[0] == 1 {
+			v.Passed++
+		}
+	}
+	v.PassRate = float64(v.Passed) / float64(trials)
+	v.RealHardware = v.PassRate >= emulationThreshold
+	return v, nil
+}

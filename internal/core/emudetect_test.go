@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"uwm/internal/cpu"
+	"uwm/internal/noise"
+)
+
+// TestDetectRealHardware: the default machine has transient windows, so
+// the probe must report real hardware.
+func TestDetectRealHardware(t *testing.T) {
+	m := MustNewMachine(Options{Seed: 61, Noise: noise.Paper()})
+	v, err := DetectEmulation(m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.RealHardware || v.PassRate < 0.8 {
+		t.Errorf("real machine misclassified: %s", v)
+	}
+}
+
+// TestDetectEmulator: an "emulator" executes the ISA faithfully —
+// transactions abort and roll back — but has no transient execution
+// (window length 0). The probe must detect it.
+func TestDetectEmulator(t *testing.T) {
+	cfg := cpu.DefaultConfig()
+	cfg.TSXWindow = 0 // ISA-faithful, microarchitecture-free execution
+	m := MustNewMachine(Options{Seed: 62, CPU: &cfg})
+	v, err := DetectEmulation(m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.RealHardware || v.Passed != 0 {
+		t.Errorf("emulator misclassified: %s", v)
+	}
+	if v.String() == "" {
+		t.Error("empty verdict string")
+	}
+}
+
+// TestDetectDefaultTrials covers the trials<=0 path.
+func TestDetectDefaultTrials(t *testing.T) {
+	m := quiet(t)
+	v, err := DetectEmulation(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Trials != 16 {
+		t.Errorf("default trials = %d", v.Trials)
+	}
+}

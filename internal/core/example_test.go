@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"fmt"
+
+	"uwm/internal/core"
+)
+
+// ExampleNewTSXAnd shows the minimal weird-gate workflow: build a
+// machine, build a gate, run its truth table. The AND below is computed
+// by a race between a transient load chain and a transaction abort —
+// no architectural AND instruction executes.
+func ExampleNewTSXAnd() {
+	m := core.MustNewMachine(core.Options{Seed: 1}) // quiet, deterministic
+	g, err := core.NewTSXAnd(m)
+	if err != nil {
+		panic(err)
+	}
+	for _, in := range [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}} {
+		out, err := g.Run(in[0], in[1])
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("AND(%d,%d) = %d\n", in[0], in[1], out[0])
+	}
+	// Output:
+	// AND(0,0) = 0
+	// AND(0,1) = 0
+	// AND(1,0) = 0
+	// AND(1,1) = 1
+}
+
+// ExampleCompileCircuit builds a full adder as one contiguous weird
+// circuit: a chain of aborting transactions whose intermediate values
+// exist only in the data cache.
+func ExampleCompileCircuit() {
+	m := core.MustNewMachine(core.Options{Seed: 2})
+	spec := core.NewCircuitSpec(3) // a, b, carry-in
+	xab := spec.Xor(0, 1)
+	spec.Output(spec.Xor(xab, 2))                          // sum
+	spec.Output(spec.Or(spec.And(0, 1), spec.And(2, xab))) // carry
+	c, err := core.CompileCircuit(m, spec)
+	if err != nil {
+		panic(err)
+	}
+	out, err := c.Run(1, 0, 1) // 1+0+1
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sum=%d carry=%d (over %d chained transactions)\n", out[0], out[1], c.Transactions())
+	// Output:
+	// sum=0 carry=1 (over 11 chained transactions)
+}
+
+// ExampleDetectEmulation shows the §2.1 probe: computation that only
+// works where transient execution exists.
+func ExampleDetectEmulation() {
+	m := core.MustNewMachine(core.Options{Seed: 3})
+	v, err := core.DetectEmulation(m, 8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(v.RealHardware)
+	// Output:
+	// true
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+
+	"uwm/internal/isa"
+	"uwm/internal/mem"
+)
+
+// The branch-predictor / instruction-cache gate family (paper §3.2,
+// Figures 1 and 2). Each gate is a program with several entry points,
+// run in sequence per activation:
+//
+//	train{i}_t / train{i}_nt — write the block's BP-WR by executing the
+//	    gate's own branch with the desired direction (the paper's
+//	    train_bp_t/train_bp_nt);
+//	touch{i} / flushb{i}     — write the block's IC-WR by executing or
+//	    clflushing the speculative body;
+//	prep                     — reset outputs: flush (or pre-cache, for
+//	    eviction gates) the output DC-WR and flush the branch-condition
+//	    lines so the fire branch resolves slowly;
+//	fire                     — execute the gate: the branch mispredicts
+//	    (if the BP-WR holds 1), opening a speculative window whose
+//	    length is the condition's DRAM latency; the body executes
+//	    transiently only if its code is in the instruction cache;
+//	read                     — timed load of the output DC-WR.
+//
+// The output value is computed by the microarchitecture alone: the fire
+// section contains no architectural boolean instruction, and the store
+// that sets the output line never commits.
+
+// trainDir is a BP-WR write direction.
+type trainDir bool
+
+const (
+	trainTaken    trainDir = false // predict taken: skip body, logic 0
+	trainNotTaken trainDir = true  // predict not-taken: speculate into body, logic 1
+)
+
+// icMode is an IC-WR write mode for one speculative body.
+type icMode int
+
+const (
+	icFlushed icMode = iota // logic 0: body cold, window too short to fetch it
+	icCached                // logic 1: body hot, executes transiently
+	icAlways                // block's IC-WR is not an input; keep hot
+)
+
+// bpBlockSpec describes one speculative block of a BP gate.
+type bpBlockSpec struct {
+	// evict selects an eviction-set body (loads that push the output
+	// line out of the hierarchy) instead of a store body.
+	evict bool
+}
+
+// bpWiring maps gate inputs to per-block WR writes.
+type bpWiring func(in []int) (train []trainDir, ic []icMode)
+
+// BPGate is a weird gate of the branch-predictor/instruction-cache
+// family.
+type BPGate struct {
+	m         *Machine
+	name      string
+	arity     int
+	prog      *isa.Program
+	out       mem.Symbol
+	brd       []mem.Symbol
+	bodyLines []mem.Addr
+	blocks    []bpBlockSpec
+	prepCache bool // prep pre-caches the output (eviction gates)
+	wire      bpWiring
+	truth     func(in []int) int
+	// Cached per-block entry labels, so activations allocate nothing.
+	trainT, trainNT, touch, flushB []string
+}
+
+// Name returns the gate's name.
+func (g *BPGate) Name() string { return g.name }
+
+// Arity returns the number of logical inputs.
+func (g *BPGate) Arity() int { return g.arity }
+
+// Program exposes the gate's assembled program, e.g. for disassembly.
+func (g *BPGate) Program() *isa.Program { return g.prog }
+
+// FireUses reports whether the fire section uses the given opcode —
+// the architectural-invisibility check.
+func (g *BPGate) FireUses(op isa.Op) bool {
+	from := g.prog.MustEntry("fire")
+	to := g.prog.MustEntry("read")
+	return g.prog.Uses(op, from, to)
+}
+
+// Golden returns the gate's reference truth value for the inputs.
+func (g *BPGate) Golden(in []int) int { return g.truth(in) }
+
+// Run performs one full activation and returns the output bit.
+func (g *BPGate) Run(in ...int) (int, error) {
+	bit, _, err := g.RunTimed(in...)
+	return bit, err
+}
+
+// RunTimed performs one activation and additionally returns the
+// measured read latency in cycles (the raw data behind the KDE plots of
+// Figures 7 and 8).
+func (g *BPGate) RunTimed(in ...int) (int, int64, error) {
+	if len(in) != g.arity {
+		return 0, 0, fmt.Errorf("core: gate %s wants %d inputs, got %d", g.name, g.arity, len(in))
+	}
+	train, ic := g.wire(in)
+
+	// Write the BP-WRs: execute each block's branch with the desired
+	// direction, TrainIterations times.
+	for blk, dir := range train {
+		if g.m.ns.TrainFail() {
+			continue // training destroyed by aliasing activity
+		}
+		entry := g.trainT[blk]
+		if dir == trainNotTaken {
+			entry = g.trainNT[blk]
+		}
+		for i := 0; i < g.m.TrainIterations(); i++ {
+			if _, err := g.m.run(g.prog, entry); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+
+	// Write the IC-WRs: execute or flush each block's body.
+	for blk, mode := range ic {
+		entry := g.touch[blk]
+		if mode == icFlushed {
+			entry = g.flushB[blk]
+		}
+		if _, err := g.m.run(g.prog, entry); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// Reset outputs and the branch-condition lines.
+	if _, err := g.m.run(g.prog, "prep"); err != nil {
+		return 0, 0, err
+	}
+
+	// Unrelated system activity may disturb the gate's lines here.
+	for _, line := range g.bodyLines {
+		g.m.perturbCode(line)
+	}
+	g.m.perturbData(g.out)
+
+	if _, err := g.m.run(g.prog, "fire"); err != nil {
+		return 0, 0, err
+	}
+	g.m.perturbData(g.out)
+
+	if _, err := g.m.run(g.prog, "read"); err != nil {
+		return 0, 0, err
+	}
+	delta := g.m.readDelta()
+	return g.m.ToBit(delta), delta, nil
+}
+
+// condReg returns the fire-section condition register for block blk.
+func condReg(blk int) isa.Reg { return isa.Reg(uint8(isa.R1) + uint8(blk)) }
+
+// buildBPGate assembles the multi-entry program shared by the whole
+// family. Each block contributes a train pair, a touch/flush pair and a
+// speculative body; prep and read are common.
+func buildBPGate(m *Machine, name string, blocks []bpBlockSpec, prepCache bool, arity int, wire bpWiring, truth func([]int) int) (*BPGate, error) {
+	id := m.nextGateID()
+	tag := fmt.Sprintf("g%d.%s", id, name)
+
+	out := m.layout.AllocLine(tag + ".out")
+	// one holds the constant 1: training "not taken" loads the branch
+	// condition from it, training "taken" loads from the zero-valued
+	// condition line itself — in both cases through a freshly flushed
+	// line, so every training iteration exercises the same slow-
+	// resolving branch the gate fires with. This is what makes the
+	// paper's non-TSX gates ~25× slower than the TSX family (Table 2).
+	one := m.layout.AllocLine(tag + ".one")
+	m.mem.Write64(one.Addr, 1)
+	brd := make([]mem.Symbol, len(blocks))
+	for i := range blocks {
+		brd[i] = m.layout.AllocLine(fmt.Sprintf("%s.brd%d", tag, i))
+	}
+	var ev []mem.Symbol
+	for i, blk := range blocks {
+		if blk.evict {
+			ways := m.cpu.Hierarchy().L2().Config().Ways
+			ev = m.evictBase(out, ways, fmt.Sprintf("%s.b%d", tag, i))
+			break // one eviction set per gate is all current gates need
+		}
+	}
+
+	b := isa.NewBuilder(m.codeRegion())
+
+	// Per-block training and IC-write entries. Training loads the
+	// desired condition value through a flushed line so the branch it
+	// executes resolves from DRAM — the same shape as the fire path.
+	for i := range blocks {
+		b.Label(fmt.Sprintf("train%d_t", i)).
+			Clflush(brd[i], 0).
+			Fence().
+			Load(condReg(i), brd[i], 0).
+			Jmp(fmt.Sprintf("br%d", i))
+		b.Label(fmt.Sprintf("train%d_nt", i)).
+			Clflush(one, 0).
+			Fence().
+			Load(condReg(i), one, 0).
+			Jmp(fmt.Sprintf("br%d", i))
+		b.Label(fmt.Sprintf("touch%d", i)).
+			Jmp(fmt.Sprintf("body%d", i))
+		b.Label(fmt.Sprintf("flushb%d", i)).
+			ClflushCode(fmt.Sprintf("body%d", i)).
+			Fence().
+			Halt()
+	}
+
+	// prep: reset output (flush, or pre-cache for eviction gates) and
+	// flush the branch-condition lines so the fire branch resolves
+	// from DRAM, opening a wide speculative window. Eviction gates
+	// also flush their conflict lines: with the whole set cold, the
+	// fire's eight fills deterministically wrap the set and push the
+	// freshly touched output out — independent of whatever recency
+	// state earlier activations left behind.
+	b.Label("prep")
+	if prepCache {
+		b.Load(isa.R11, out, 0)
+		for _, e := range ev {
+			b.Clflush(e, 0)
+		}
+	} else {
+		b.Clflush(out, 0)
+	}
+	for i := range blocks {
+		b.Clflush(brd[i], 0)
+	}
+	b.Fence().Halt()
+
+	// fire: the gate itself.
+	b.Label("fire").MovI(isa.R9, 42)
+	for i, blk := range blocks {
+		next := fmt.Sprintf("next%d", i)
+		b.Load(condReg(i), brd[i], 0)
+		b.Label(fmt.Sprintf("br%d", i)).
+			Brz(condReg(i), next)
+		b.AlignLine()
+		b.Label(fmt.Sprintf("body%d", i))
+		if blk.evict {
+			for _, e := range ev {
+				b.Load(isa.R3, e, 0)
+			}
+		} else {
+			b.Store(out, 0, isa.R9)
+		}
+		b.Halt()
+		b.AlignLine()
+		b.Label(next)
+		if i == len(blocks)-1 {
+			b.Halt()
+		}
+	}
+
+	// read: timed load of the output line.
+	b.Label("read").
+		Rdtsc(isa.R10).
+		Load(isa.R11, out, 0).
+		Rdtsc(isa.R12).
+		Halt()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: building %s: %w", name, err)
+	}
+	if prog.End() > prog.Base+codeRegionSize {
+		return nil, fmt.Errorf("core: gate %s overflows its code region", name)
+	}
+
+	bodyLines := make([]mem.Addr, len(blocks))
+	for i := range blocks {
+		addr, err := prog.LabelAddr(fmt.Sprintf("body%d", i))
+		if err != nil {
+			return nil, err
+		}
+		bodyLines[i] = addr.Line()
+	}
+
+	g := &BPGate{
+		m:         m,
+		name:      name,
+		arity:     arity,
+		prog:      prog,
+		out:       out,
+		brd:       brd,
+		bodyLines: bodyLines,
+		blocks:    blocks,
+		prepCache: prepCache,
+		wire:      wire,
+		truth:     truth,
+	}
+	for i := range blocks {
+		g.trainT = append(g.trainT, fmt.Sprintf("train%d_t", i))
+		g.trainNT = append(g.trainNT, fmt.Sprintf("train%d_nt", i))
+		g.touch = append(g.touch, fmt.Sprintf("touch%d", i))
+		g.flushB = append(g.flushB, fmt.Sprintf("flushb%d", i))
+	}
+	return g, nil
+}
+
+// NewBPAnd builds the weird AND gate of Figure 1: one speculative block
+// whose BP-WR is input b and whose IC-WR is input a. The output line is
+// filled only when the branch mispredicts into the body and the body is
+// already in the instruction cache.
+func NewBPAnd(m *Machine) (*BPGate, error) {
+	return buildBPGate(m, "AND", []bpBlockSpec{{}}, false, 2,
+		func(in []int) ([]trainDir, []icMode) {
+			return []trainDir{dirOf(in[1])}, []icMode{icOf(in[0])}
+		},
+		func(in []int) int { return in[0] & in[1] },
+	)
+}
+
+// NewBPOr builds the weird OR gate of Figure 2: two speculative blocks.
+// The first branch is always mistrained and its body's IC state is input
+// a; the second branch's BP-WR is input b and its body stays hot.
+func NewBPOr(m *Machine) (*BPGate, error) {
+	return buildBPGate(m, "OR", []bpBlockSpec{{}, {}}, false, 2,
+		func(in []int) ([]trainDir, []icMode) {
+			return []trainDir{trainNotTaken, dirOf(in[1])}, []icMode{icOf(in[0]), icAlways}
+		},
+		func(in []int) int { return in[0] | in[1] },
+	)
+}
+
+// NewBPNand builds a weird NAND gate: the output line starts cached, and
+// the speculative body is an eviction set that pushes it out of the
+// hierarchy — so the output drops to 0 exactly when both inputs are 1.
+// NAND gives the family functional completeness (§3.2).
+func NewBPNand(m *Machine) (*BPGate, error) {
+	return buildBPGate(m, "NAND", []bpBlockSpec{{evict: true}}, true, 2,
+		func(in []int) ([]trainDir, []icMode) {
+			return []trainDir{dirOf(in[1])}, []icMode{icOf(in[0])}
+		},
+		func(in []int) int { return 1 - in[0]&in[1] },
+	)
+}
+
+// NewBPAndAndOr builds the composed (a AND b) OR (c AND d) gate the
+// paper's full adder uses (§5.2): two speculative blocks, each an AND of
+// its BP-WR and IC-WR, both storing to the same output line.
+func NewBPAndAndOr(m *Machine) (*BPGate, error) {
+	return buildBPGate(m, "AND_AND_OR", []bpBlockSpec{{}, {}}, false, 4,
+		func(in []int) ([]trainDir, []icMode) {
+			return []trainDir{dirOf(in[1]), dirOf(in[3])}, []icMode{icOf(in[0]), icOf(in[2])}
+		},
+		func(in []int) int { return in[0]&in[1] | in[2]&in[3] },
+	)
+}
+
+func dirOf(bit int) trainDir {
+	if bit != 0 {
+		return trainNotTaken
+	}
+	return trainTaken
+}
+
+func icOf(bit int) icMode {
+	if bit != 0 {
+		return icCached
+	}
+	return icFlushed
+}

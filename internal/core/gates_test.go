@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+
+	"uwm/internal/isa"
+	"uwm/internal/noise"
+)
+
+// quiet returns a deterministic machine for truth-table tests.
+func quiet(t *testing.T) *Machine {
+	t.Helper()
+	m, err := NewMachine(Options{Seed: 42, TrainIterations: 4})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	return m
+}
+
+func TestCalibrationThreshold(t *testing.T) {
+	m := quiet(t)
+	th := m.Threshold()
+	if th < 40 || th > 200 {
+		t.Fatalf("threshold %d outside plausible hit/miss gap", th)
+	}
+}
+
+func combos(arity int) [][]int {
+	out := make([][]int, 0, 1<<arity)
+	for c := 0; c < 1<<arity; c++ {
+		in := make([]int, arity)
+		for j := range in {
+			in[j] = (c >> j) & 1
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func testBPGateTruth(t *testing.T, build func(*Machine) (*BPGate, error)) {
+	t.Helper()
+	m := quiet(t)
+	g, err := build(m)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	for _, in := range combos(g.Arity()) {
+		// Repeat each combination to exercise persistent predictor and
+		// cache state between activations.
+		for rep := 0; rep < 3; rep++ {
+			got, err := g.Run(in...)
+			if err != nil {
+				t.Fatalf("%s%v run %d: %v", g.Name(), in, rep, err)
+			}
+			if want := g.Golden(in); got != want {
+				t.Errorf("%s%v rep %d = %d, want %d", g.Name(), in, rep, got, want)
+			}
+		}
+	}
+}
+
+func TestBPAndTruthTable(t *testing.T)      { testBPGateTruth(t, NewBPAnd) }
+func TestBPOrTruthTable(t *testing.T)       { testBPGateTruth(t, NewBPOr) }
+func TestBPNandTruthTable(t *testing.T)     { testBPGateTruth(t, NewBPNand) }
+func TestBPAndAndOrTruthTable(t *testing.T) { testBPGateTruth(t, NewBPAndAndOr) }
+
+func testTSXGateTruth(t *testing.T, build func(*Machine) (*TSXGate, error)) {
+	t.Helper()
+	m := quiet(t)
+	g, err := build(m)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	for _, in := range combos(g.Arity()) {
+		for rep := 0; rep < 3; rep++ {
+			got, err := g.Run(in...)
+			if err != nil {
+				t.Fatalf("%s%v run %d: %v", g.Name(), in, rep, err)
+			}
+			want := g.Golden(in)
+			for k := range want {
+				if got[k] != want[k] {
+					t.Errorf("%s%v rep %d out[%d] = %d, want %d", g.Name(), in, rep, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+func TestTSXAssignTruthTable(t *testing.T) { testTSXGateTruth(t, NewTSXAssign) }
+func TestTSXAndTruthTable(t *testing.T)    { testTSXGateTruth(t, NewTSXAnd) }
+func TestTSXOrTruthTable(t *testing.T)     { testTSXGateTruth(t, NewTSXOr) }
+func TestTSXAndOrTruthTable(t *testing.T)  { testTSXGateTruth(t, NewTSXAndOr) }
+func TestTSXNotTruthTable(t *testing.T)    { testTSXGateTruth(t, NewTSXNot) }
+func TestTSXXorTruthTable(t *testing.T)    { testTSXGateTruth(t, NewTSXXor) }
+
+// TestGatesShareMachine builds every gate on one machine and checks they
+// do not corrupt each other — the precondition for circuits.
+func TestGatesShareMachine(t *testing.T) {
+	m := quiet(t)
+	and, err := NewBPAnd(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xor, err := NewTSXXor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nand, err := NewBPNand(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range combos(2) {
+		a, err := and.Run(in...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := xor.Run(in...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := nand.Run(in...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != in[0]&in[1] || x[0] != in[0]^in[1] || n != 1-in[0]&in[1] {
+			t.Errorf("in=%v: and=%d xor=%d nand=%d", in, a, x[0], n)
+		}
+	}
+}
+
+// TestFireSectionsArchitecturallyInvisible verifies the paper's central
+// claim mechanically: no gate's fire section contains an architectural
+// boolean instruction computing its logic.
+func TestFireSectionsArchitecturallyInvisible(t *testing.T) {
+	m := quiet(t)
+	bpAnd, _ := NewBPAnd(m)
+	bpOr, _ := NewBPOr(m)
+	bpNand, _ := NewBPNand(m)
+	tAnd, _ := NewTSXAnd(m)
+	tOr, _ := NewTSXOr(m)
+	tXor, _ := NewTSXXor(m)
+
+	for _, op := range []isa.Op{isa.AND, isa.OR, isa.XOR} {
+		for _, g := range []interface{ FireUses(isa.Op) bool }{bpAnd, bpOr, bpNand, tAnd, tOr, tXor} {
+			if g.(interface{ Name() string }).Name() != "" && g.FireUses(op) {
+				t.Errorf("%v fire section uses architectural %v", g.(interface{ Name() string }).Name(), op)
+			}
+		}
+	}
+}
+
+// TestNoisyAccuracyBands runs gates under the paper noise profile and
+// checks accuracy lands in the reported bands: near-perfect for BP/IC
+// gates (Table 5), 0.90–0.995 for TSX gates (Table 8).
+func TestNoisyAccuracyBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy bands need thousands of activations")
+	}
+	m, err := NewMachine(Options{Seed: 7, Noise: noise.Paper(), TrainIterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := noise.NewRNG(99)
+
+	and, _ := NewBPAnd(m)
+	rep, err := MeasureBPGate(and, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accuracy() < 0.995 {
+		t.Errorf("BP AND accuracy %.4f below 0.995", rep.Accuracy())
+	}
+
+	txor, _ := NewTSXXor(m)
+	rep2, err := MeasureTSXGate(txor, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Accuracy() < 0.85 || rep2.Accuracy() > 0.99 {
+		t.Errorf("TSX XOR accuracy %.4f outside (0.85, 0.99)", rep2.Accuracy())
+	}
+
+	tand, _ := NewTSXAnd(m)
+	rep3, err := MeasureTSXGate(tand, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Accuracy() < 0.95 {
+		t.Errorf("TSX AND accuracy %.4f below 0.95", rep3.Accuracy())
+	}
+	if rep3.Accuracy() <= rep2.Accuracy() {
+		t.Errorf("TSX AND (%.4f) should beat multi-window XOR (%.4f)", rep3.Accuracy(), rep2.Accuracy())
+	}
+}

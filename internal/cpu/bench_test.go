@@ -1,0 +1,115 @@
+package cpu
+
+import (
+	"testing"
+
+	"uwm/internal/isa"
+	"uwm/internal/mem"
+	"uwm/internal/noise"
+)
+
+// BenchmarkCommittedALU measures raw interpreter throughput on
+// register-only code.
+func BenchmarkCommittedALU(b *testing.B) {
+	m := mem.New()
+	c := New(DefaultConfig(), m, noise.NewSource(1, noise.Quiet()))
+	bb := isa.NewBuilder(0x1000)
+	bb.Label("main").MovI(isa.R1, 1).MovI(isa.R2, 2)
+	for i := 0; i < 64; i++ {
+		bb.Add(isa.R3, isa.R1, isa.R2)
+	}
+	bb.Halt()
+	p := bb.MustBuild()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Run(p, "main"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimedLoad measures the canonical rdtsc;load;rdtsc probe.
+func BenchmarkTimedLoad(b *testing.B) {
+	m := mem.New()
+	c := New(DefaultConfig(), m, noise.NewSource(1, noise.Quiet()))
+	layout := mem.NewLayout(0x10_0000)
+	x := layout.AllocLine("x")
+	bb := isa.NewBuilder(0x1000)
+	bb.Label("main").
+		Clflush(x, 0).
+		Fence().
+		Rdtsc(isa.R10).
+		Load(isa.R11, x, 0).
+		Rdtsc(isa.R12).
+		Halt()
+	p := bb.MustBuild()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Run(p, "main"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpeculativeWindow measures a full mispredict window with a
+// wrong-path store.
+func BenchmarkSpeculativeWindow(b *testing.B) {
+	m := mem.New()
+	c := New(DefaultConfig(), m, noise.NewSource(1, noise.Quiet()))
+	layout := mem.NewLayout(0x10_0000)
+	cond := layout.AllocLine("cond")
+	out := layout.AllocLine("out")
+	bb := isa.NewBuilder(0x1000)
+	bb.Label("train").MovI(isa.R1, 1).Jmp("br")
+	bb.Label("fire").
+		Clflush(out, 0).
+		Clflush(cond, 0).
+		Fence().
+		MovI(isa.R9, 42).
+		Load(isa.R1, cond, 0)
+	bb.Label("br").Brz(isa.R1, "after")
+	bb.AlignLine()
+	bb.Label("body").Store(out, 0, isa.R9).Halt()
+	bb.AlignLine()
+	bb.Label("after").Halt()
+	p := bb.MustBuild()
+	for i := 0; i < 4; i++ {
+		if _, err := c.Run(p, "train"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Run(p, "fire"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTSXAbortWindow measures a transaction with a post-fault
+// transient chain.
+func BenchmarkTSXAbortWindow(b *testing.B) {
+	m := mem.New()
+	c := New(DefaultConfig(), m, noise.NewSource(1, noise.Quiet()))
+	layout := mem.NewLayout(0x10_0000)
+	in := layout.AllocLine("in")
+	out := layout.AllocLine("out")
+	bb := isa.NewBuilder(0x1000)
+	bb.Label("fire").
+		Clflush(out, 0).
+		XBegin("h").
+		MovI(isa.R2, 0).
+		MovI(isa.R3, 7).
+		Div(isa.R3, isa.R3, isa.R2).
+		Load(isa.R4, in, 0).
+		LoadR(isa.R5, isa.R4, int64(out.Addr)).
+		XEnd()
+	bb.Label("h").Halt()
+	p := bb.MustBuild()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Run(p, "fire"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package cpu
+
+import (
+	"math"
+
+	"uwm/internal/isa"
+)
+
+// Functional-unit and reorder-buffer contention modelling. These back
+// the contention-based weird registers of the paper's Table 1 ("mul
+// func. units" and "ROB contention"): executing multiplies raises
+// pressure on the multiply unit, which raises the latency of subsequent
+// multiplies until the pressure decays; long dependency chains raise ROB
+// pressure, stalling the front end. Both are volatile by construction —
+// the stored bit evaporates after a few hundred cycles, the volatility
+// property of §3.1.
+
+// decayPressure applies exponential decay with the given half-life to a
+// pressure value last updated at stamp, as of now. Pressure below the
+// observability floor is snapped to zero — no timing effect can see it,
+// and the early-out keeps the exp off the per-instruction hot path.
+func decayPressure(p float64, stamp, now int64, halfLife float64) float64 {
+	if p == 0 || halfLife <= 0 || now <= stamp {
+		return p
+	}
+	if p < 0.25 {
+		return 0
+	}
+	return p * math.Exp2(-float64(now-stamp)/halfLife)
+}
+
+// mulLatency returns the current multiply latency, including the
+// contention surcharge.
+func (c *CPU) mulLatency() int64 {
+	c.mulPressure = decayPressure(c.mulPressure, c.mulStamp, c.clock, c.cfg.MulPressureHalfLife)
+	c.mulStamp = c.clock
+	extra := int64(c.mulPressure * c.cfg.MulContentionFactor)
+	return c.cfg.MulLatency + extra
+}
+
+// addMulPressure records occupancy of the multiply unit.
+func (c *CPU) addMulPressure(n float64) {
+	c.mulPressure = decayPressure(c.mulPressure, c.mulStamp, c.clock, c.cfg.MulPressureHalfLife)
+	c.mulStamp = c.clock
+	c.mulPressure += n
+}
+
+// MulPressure exposes the current (decayed) multiply-unit pressure for
+// tests of the contention weird register.
+func (c *CPU) MulPressure() float64 {
+	return decayPressure(c.mulPressure, c.mulStamp, c.clock, c.cfg.MulPressureHalfLife)
+}
+
+// trackChain updates ROB pressure: a destination register that feeds the
+// immediately following instruction extends a dependency chain, filling
+// the reorder buffer with waiting entries.
+func (c *CPU) trackChain(dst isa.Reg) {
+	c.robPressure = decayPressure(c.robPressure, c.robStamp, c.clock, c.cfg.ROBPressureHalfLife)
+	c.robStamp = c.clock
+	if c.hasLastDst && c.lastDst == dst {
+		c.robPressure++
+	}
+	c.lastDst = dst
+	c.hasLastDst = true
+}
+
+// robStall charges the front end proportionally to ROB pressure.
+func (c *CPU) robStall() {
+	c.robPressure = decayPressure(c.robPressure, c.robStamp, c.clock, c.cfg.ROBPressureHalfLife)
+	c.robStamp = c.clock
+	if c.cfg.ROBStallFactor > 0 {
+		c.clock += int64(c.robPressure * c.cfg.ROBStallFactor)
+	}
+}
+
+// ROBPressure exposes the current (decayed) reorder-buffer pressure for
+// tests of the contention weird register.
+func (c *CPU) ROBPressure() float64 {
+	return decayPressure(c.robPressure, c.robStamp, c.clock, c.cfg.ROBPressureHalfLife)
+}

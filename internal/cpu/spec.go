@@ -1,0 +1,260 @@
+package cpu
+
+import (
+	"uwm/internal/isa"
+	"uwm/internal/mem"
+	"uwm/internal/trace"
+)
+
+// speculate executes the transient path starting at idx in dataflow
+// order between start and deadline cycles. This single routine is the
+// engine behind both weird-gate families:
+//
+//   - wrong-path execution after a branch misprediction (deadline =
+//     branch resolution time, i.e. when the flushed condition load
+//     returns from DRAM), and
+//   - post-fault transient execution inside a TSX region (deadline =
+//     fault time + TSXWindow).
+//
+// Timing rules (the paper's race conditions, made explicit):
+//
+//   - instruction fetch is sequential; a fetch that completes after the
+//     deadline starves the rest of the path (this is the IC-WR input:
+//     a flushed gate body never executes);
+//   - an instruction *issues* once its fetch is done and its source
+//     registers are ready; issue at or before the deadline is what
+//     makes its cache side effect land — a memory request launched
+//     inside the window completes in the cache even if the data comes
+//     back after the squash;
+//   - a source produced by a load that could not issue is never ready,
+//     so dependants transitively starve (this is how a flushed DC-WR
+//     input kills the pointer-chase chain of a TSX gate);
+//   - architectural state (registers, memory) is never modified; stores
+//     only exercise their write-allocate cache fill.
+func (c *CPU) speculate(prog *isa.Program, idx int, start, deadline int64, res *Result) {
+	res.SpecWindows++
+	c.stats.SpecWindows++
+	c.record(trace.KindSpecStart, 0, 0, uint64(deadline-start), "window open")
+
+	var specRegs [isa.NumRegs]uint64 = c.regs
+	var ready [isa.NumRegs]int64
+	for i := range ready {
+		ready[i] = start
+		if c.ready[i] > start {
+			ready[i] = c.ready[i]
+		}
+	}
+
+	sfc := start // speculative fetch clock
+	count := 0
+
+	readySrc := func(r isa.Reg) int64 { return ready[r] }
+	issueOK := func(t int64) bool { return t <= deadline }
+
+loop:
+	for idx >= 0 && idx < len(prog.Code) && count < c.cfg.MaxSpecInsts {
+		inst := &prog.Code[idx]
+		count++
+
+		// Transient fetch fills the I-cache like any other fetch.
+		sfc += c.fetchLatency(inst.Addr)
+		if sfc > deadline {
+			break // fetch starved: body was not in the instruction cache
+		}
+		if c.rec.Enabled() {
+			c.record(trace.KindSpecExec, inst.Addr, 0, 0, inst.String())
+		}
+		res.SpecInsts++
+		c.stats.SpecInsts++
+
+		switch inst.Op {
+		case isa.NOP:
+			// nothing
+
+		case isa.HALT, isa.XEND, isa.XABORT:
+			break loop
+
+		case isa.MOVI:
+			ready[inst.Dst] = sfc + c.cfg.ALULatency
+			specRegs[inst.Dst] = uint64(inst.Imm)
+
+		case isa.MOV:
+			t := maxi(sfc, readySrc(inst.Src1))
+			if issueOK(t) && readySrc(inst.Src1) < neverReady {
+				ready[inst.Dst] = t + c.cfg.ALULatency
+				specRegs[inst.Dst] = specRegs[inst.Src1]
+			} else {
+				ready[inst.Dst] = neverReady
+			}
+
+		case isa.LOAD:
+			addr := inst.SymAddr + mem.Addr(inst.Imm)
+			t := sfc
+			if issueOK(t) {
+				lat := c.specAccess(addr, t)
+				ready[inst.Dst] = t + lat
+				specRegs[inst.Dst] = c.mem.Read64(addr)
+			} else {
+				ready[inst.Dst] = neverReady
+			}
+
+		case isa.LOADR:
+			t := maxi(sfc, readySrc(inst.Src1))
+			if issueOK(t) && readySrc(inst.Src1) < neverReady {
+				addr := mem.Addr(specRegs[inst.Src1]) + mem.Addr(inst.Imm)
+				lat := c.specAccess(addr, t)
+				ready[inst.Dst] = t + lat
+				specRegs[inst.Dst] = c.mem.Read64(addr)
+			} else {
+				ready[inst.Dst] = neverReady
+			}
+
+		case isa.ADDM:
+			t := maxi(sfc, readySrc(inst.Dst))
+			if issueOK(t) && readySrc(inst.Dst) < neverReady {
+				addr := inst.SymAddr + mem.Addr(inst.Imm)
+				lat := c.specAccess(addr, t)
+				ready[inst.Dst] = t + lat + c.cfg.ALULatency
+				specRegs[inst.Dst] += c.mem.Read64(addr)
+			} else {
+				ready[inst.Dst] = neverReady
+			}
+
+		case isa.STORE:
+			// Write-allocate fill only; no architectural write.
+			if issueOK(sfc) {
+				c.specAccess(inst.SymAddr+mem.Addr(inst.Imm), sfc)
+			}
+
+		case isa.STORR:
+			t := maxi(sfc, readySrc(inst.Src1))
+			if issueOK(t) && readySrc(inst.Src1) < neverReady {
+				c.specAccess(mem.Addr(specRegs[inst.Src1])+mem.Addr(inst.Imm), t)
+			}
+
+		case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR:
+			t := maxi(sfc, maxi(readySrc(inst.Src1), readySrc(inst.Src2)))
+			if issueOK(t) && readySrc(inst.Src1) < neverReady && readySrc(inst.Src2) < neverReady {
+				ready[inst.Dst] = t + c.cfg.ALULatency
+				specRegs[inst.Dst] = alu(inst.Op, specRegs[inst.Src1], specRegs[inst.Src2])
+			} else {
+				ready[inst.Dst] = neverReady
+			}
+
+		case isa.ADDI:
+			t := maxi(sfc, readySrc(inst.Src1))
+			if issueOK(t) && readySrc(inst.Src1) < neverReady {
+				ready[inst.Dst] = t + c.cfg.ALULatency
+				specRegs[inst.Dst] = specRegs[inst.Src1] + uint64(inst.Imm)
+			} else {
+				ready[inst.Dst] = neverReady
+			}
+
+		case isa.SHL, isa.SHR:
+			t := maxi(sfc, readySrc(inst.Src1))
+			if issueOK(t) && readySrc(inst.Src1) < neverReady {
+				ready[inst.Dst] = t + c.cfg.ALULatency
+				if inst.Op == isa.SHL {
+					specRegs[inst.Dst] = specRegs[inst.Src1] << uint(inst.Imm&63)
+				} else {
+					specRegs[inst.Dst] = specRegs[inst.Src1] >> uint(inst.Imm&63)
+				}
+			} else {
+				ready[inst.Dst] = neverReady
+			}
+
+		case isa.MUL:
+			t := maxi(sfc, maxi(readySrc(inst.Src1), readySrc(inst.Src2)))
+			if issueOK(t) && readySrc(inst.Src1) < neverReady && readySrc(inst.Src2) < neverReady {
+				lat := c.mulLatency()
+				c.addMulPressure(1) // transient MULs still occupy the unit
+				ready[inst.Dst] = t + lat
+				specRegs[inst.Dst] = specRegs[inst.Src1] * specRegs[inst.Src2]
+			} else {
+				ready[inst.Dst] = neverReady
+			}
+
+		case isa.DIV:
+			if specRegs[inst.Src2] == 0 {
+				break loop // a fault in the shadow of the window stops it
+			}
+			t := maxi(sfc, maxi(readySrc(inst.Src1), readySrc(inst.Src2)))
+			if issueOK(t) && readySrc(inst.Src1) < neverReady && readySrc(inst.Src2) < neverReady {
+				ready[inst.Dst] = t + c.cfg.DivLatency
+				specRegs[inst.Dst] = specRegs[inst.Src1] / specRegs[inst.Src2]
+			} else {
+				ready[inst.Dst] = neverReady
+			}
+
+		case isa.CLF, isa.CLFL:
+			// clflush is ordered and never executes transiently.
+
+		case isa.RDTSC:
+			ready[inst.Dst] = sfc
+			specRegs[inst.Dst] = uint64(sfc)
+
+		case isa.FENCE:
+			for _, r := range ready {
+				if r < neverReady && r > sfc {
+					sfc = r
+				}
+			}
+
+		case isa.BRZ, isa.BRNZ:
+			// Nested speculation is not modelled: follow the resolved
+			// direction when the condition is ready inside the window,
+			// the predicted one otherwise.
+			taken := specRegs[inst.Src1] == 0
+			if inst.Op == isa.BRNZ {
+				taken = !taken
+			}
+			if readySrc(inst.Src1) > deadline {
+				taken = c.dir.Predict(inst.Addr)
+			}
+			if taken {
+				idx = inst.TargetIdx
+				continue
+			}
+
+		case isa.JMP:
+			idx = inst.TargetIdx
+			continue
+
+		case isa.CALL:
+			specRegs[inst.Dst] = uint64(inst.Addr + isa.InstBytes)
+			ready[inst.Dst] = sfc
+			idx = inst.TargetIdx
+			continue
+
+		case isa.RET:
+			// Follow the link value when it is known inside the
+			// window; an unresolved return target stalls the path.
+			if readySrc(inst.Src1) > deadline {
+				break loop
+			}
+			target, err := indexOf(prog, mem.Addr(specRegs[inst.Src1]))
+			if err != nil {
+				break loop
+			}
+			idx = target
+			continue
+
+		case isa.XBEGIN:
+			// A transactional begin on the wrong path has no effect.
+		}
+		idx++
+	}
+
+	c.record(trace.KindSpecEnd, 0, 0, uint64(count), "window closed")
+}
+
+// specAccess performs a transient data access issued at the given
+// cycle: the cache fill is the whole point. Latency gets DRAM jitter and
+// MSHR merging like committed accesses.
+func (c *CPU) specAccess(addr mem.Addr, issue int64) int64 {
+	lat := c.memAccess(addr, issue)
+	if c.rec.Enabled() {
+		c.record(trace.KindCacheFill, 0, addr, uint64(lat), "transient fill")
+	}
+	return lat
+}

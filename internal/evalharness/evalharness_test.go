@@ -1,0 +1,274 @@
+package evalharness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny returns parameters small enough for unit testing.
+func tiny() Params {
+	return Params{
+		Seed:        5,
+		Table2Ops:   300,
+		Table5Ops:   500,
+		Table6Ops:   100,
+		Table8Ops:   500,
+		Experiments: 3,
+		SHA1S:       3, SHA1K: 1, SHA1N: 1,
+		SHA1Blocks:      1,
+		FigureOps:       300,
+		TrainIterations: 40,
+		ClockHz:         2.3e9,
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "T",
+		Header: []string{"a", "bb"},
+		Notes:  []string{"n1"},
+	}
+	tab.AddRow("xxx", "y")
+	out := tab.Render()
+	for _, want := range []string{"== T ==", "a", "bb", "xxx", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParamsNormalize(t *testing.T) {
+	var p Params
+	p.normalize()
+	q := Quick()
+	if p.Table2Ops != q.Table2Ops || p.ClockHz != q.ClockHz || p.SHA1S != q.SHA1S {
+		t.Errorf("normalize did not apply quick defaults: %+v", p)
+	}
+	full := Full()
+	if full.Table2Ops != 1_000_000 || full.SHA1S != 10 {
+		t.Errorf("full params wrong: %+v", full)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tab, err := Table2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The TSX family must be faster than the BP family (Table 2's
+	// headline shape). Row order: 4 BP gates then 4 TSX gates.
+	speed := func(row []string) float64 {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad speed cell %q", row[3])
+		}
+		return v
+	}
+	slowestTSX := speed(tab.Rows[4])
+	fastestBP := speed(tab.Rows[0])
+	for _, r := range tab.Rows[4:] {
+		if s := speed(r); s < slowestTSX {
+			slowestTSX = s
+		}
+	}
+	for _, r := range tab.Rows[:4] {
+		if s := speed(r); s > fastestBP {
+			fastestBP = s
+		}
+	}
+	if slowestTSX < 5*fastestBP {
+		t.Errorf("TSX gates (slowest %f) should be ≫ BP gates (fastest %f)", slowestTSX, fastestBP)
+	}
+}
+
+func TestTable3AndFigure6(t *testing.T) {
+	tab, counts, err := Table3(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 3 {
+		t.Fatalf("counts = %v", counts)
+	}
+	for _, c := range counts {
+		if c < 1 {
+			t.Errorf("trigger count %d < 1", c)
+		}
+	}
+	if len(tab.Rows) != 1 {
+		t.Error("table 3 should have one row")
+	}
+	if fig := Figure6(counts); !strings.Contains(fig, "Figure 6") {
+		t.Error("figure 6 render missing title")
+	}
+}
+
+func TestTable4Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SHA-1 experiment is slow")
+	}
+	tab, err := Table4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	joined := strings.Join(tab.Notes, " ")
+	if !strings.Contains(joined, "matches reference: true") {
+		t.Errorf("quick Table 4 digest mismatched: %s", joined)
+	}
+}
+
+func TestTable5Accuracy(t *testing.T) {
+	tab, err := Table5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		acc, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc < 0.99 {
+			t.Errorf("%s accuracy %f below 0.99", row[0], acc)
+		}
+	}
+}
+
+func TestTables6And7Bimodal(t *testing.T) {
+	tab6, err := Table6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := func(row []string) float64 {
+		v, _ := strconv.ParseFloat(row[3], 64)
+		return v
+	}
+	// AND output: only (1,1) is a hit; OR: only (0,0) is a miss.
+	if med(tab6.Rows[3]) > 100 {
+		t.Errorf("AND(1,1) median %f should be a hit", med(tab6.Rows[3]))
+	}
+	if med(tab6.Rows[0]) < 150 {
+		t.Errorf("AND(0,0) median %f should be a miss", med(tab6.Rows[0]))
+	}
+	if med(tab6.Rows[4]) < 150 || med(tab6.Rows[7]) > 100 {
+		t.Error("OR output medians not bimodal")
+	}
+
+	tab7, err := Table7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// XOR: (0,0) and (1,1) miss; (1,0) and (0,1) hit.
+	if med(tab7.Rows[0]) < 150 || med(tab7.Rows[3]) < 150 {
+		t.Error("XOR same-input rows should miss")
+	}
+	if med(tab7.Rows[1]) > 100 || med(tab7.Rows[2]) > 100 {
+		t.Error("XOR differing-input rows should hit")
+	}
+}
+
+func TestTable8Accuracies(t *testing.T) {
+	tab, err := Table8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	accOf := make(map[string]float64)
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 0.85 || v > 1 {
+			t.Errorf("%s accuracy %f outside the paper band", row[0], v)
+		}
+		accOf[row[0]] = v
+	}
+	if accOf["TSX_XOR"] >= accOf["TSX_AND"] {
+		t.Error("multi-window XOR should be less accurate than AND")
+	}
+}
+
+func TestFigureKDE(t *testing.T) {
+	text, k0, k1, err := FigureKDE(tiny(), "AND")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "Figure 7") {
+		t.Error("missing title")
+	}
+	if len(k0) == 0 || len(k1) == 0 {
+		t.Fatal("empty KDE series")
+	}
+	// logic-1 reads cluster fast, logic-0 reads cluster slow: compare
+	// the density-weighted means.
+	var m0, w0, m1, w1 float64
+	for _, p := range k0 {
+		m0 += p.X * p.Density
+		w0 += p.Density
+	}
+	for _, p := range k1 {
+		m1 += p.X * p.Density
+		w1 += p.Density
+	}
+	if m1/w1 >= m0/w0 {
+		t.Errorf("logic-1 KDE mean %f not faster than logic-0 mean %f", m1/w1, m0/w0)
+	}
+	if _, _, _, err := FigureKDE(tiny(), "NOPE"); err == nil {
+		t.Error("unknown gate accepted")
+	}
+}
+
+func TestAblationsOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations run several machines")
+	}
+	p := tiny()
+	tab, err := Ablations(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := func(variant, gate string) float64 {
+		for _, row := range tab.Rows {
+			if row[0] == variant && strings.HasPrefix(row[1], gate) {
+				v, _ := strconv.ParseFloat(row[3], 64)
+				return v
+			}
+		}
+		t.Fatalf("row %s/%s missing", variant, gate)
+		return 0
+	}
+	if acc("TSX window 8 cycles", "TSX_AND") >= acc("baseline (paper)", "TSX_AND") {
+		t.Error("collapsing the TSX window should hurt accuracy")
+	}
+	if acc("busy machine (no §6.1 isolation)", "TSX_AND") >= acc("baseline (paper)", "TSX_AND") {
+		t.Error("a busy machine should hurt TSX accuracy")
+	}
+}
+
+func TestExtraChannels(t *testing.T) {
+	tab, err := ExtraChannels(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		var rate float64
+		if _, err := fmt.Sscanf(row[3], "%f", &rate); err != nil {
+			t.Fatal(err)
+		}
+		if rate > 0.05 {
+			t.Errorf("%s error rate %.4f too high on an isolated machine", row[0], rate)
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package evalharness
+
+import (
+	"fmt"
+
+	"uwm/internal/core"
+	"uwm/internal/noise"
+	"uwm/internal/sha1wm"
+	"uwm/internal/skelly"
+	"uwm/internal/stats"
+	"uwm/internal/wmapt"
+)
+
+// paperTable2 holds the paper's reported throughput/accuracy for the
+// comparison column of Table 2.
+var paperTable2 = map[string]struct {
+	opsPerSec float64
+	accuracy  float64
+}{
+	"AND":        {66_666, 1.000},
+	"OR":         {17_543, 0.980},
+	"NAND":       {76_923, 1.000},
+	"AND_AND_OR": {12_345, 0.994},
+	"TSX_AND":    {1_692_047, 0.985},
+	"TSX_OR":     {1_831_501, 0.979},
+	"TSX_ASSIGN": {2_380_952, 0.985},
+	"TSX_XOR":    {60_020, 0.992},
+}
+
+// Table2 reproduces the gate performance/accuracy overview. BP gates
+// run with the full mistraining loop (TrainIterations), which is what
+// makes them an order of magnitude slower than the TSX family — the
+// paper's headline shape.
+func Table2(p Params) (*Table, error) {
+	p.normalize()
+	m, err := core.NewMachine(core.Options{
+		Seed:            p.Seed,
+		Noise:           noise.PaperIsolated(),
+		TrainIterations: p.TrainIterations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return table2On(m, p)
+}
+
+func table2On(m *core.Machine, p Params) (*Table, error) {
+	rng := noise.NewRNG(p.Seed + 2)
+	t := &Table{
+		Title: "Table 2: Overview of various WG performance and accuracy",
+		Header: []string{"Weird Gate", "Iterations", "Sim Exec Time (s)", "Executions/Second",
+			"Accuracy", "Paper Exec/s", "Paper Acc"},
+		Notes: []string{
+			fmt.Sprintf("simulated cycles converted at %.1f GHz; BP gates include %d-iteration mistraining per activation", p.ClockHz/1e9, m.TrainIterations()),
+			"shape to match the paper: TSX gates 1–2 orders of magnitude faster; TSX_XOR slowest of the TSX family",
+		},
+	}
+
+	addBP := func(build func(*core.Machine) (*core.BPGate, error)) error {
+		g, err := build(m)
+		if err != nil {
+			return err
+		}
+		rep, err := core.MeasureBPGate(g, p.Table2Ops, rng)
+		if err != nil {
+			return err
+		}
+		appendTable2Row(t, rep, p)
+		return nil
+	}
+	addTSX := func(build func(*core.Machine) (*core.TSXGate, error)) error {
+		g, err := build(m)
+		if err != nil {
+			return err
+		}
+		rep, err := core.MeasureTSXGate(g, p.Table2Ops, rng)
+		if err != nil {
+			return err
+		}
+		appendTable2Row(t, rep, p)
+		return nil
+	}
+
+	for _, b := range []func(*core.Machine) (*core.BPGate, error){
+		core.NewBPAnd, core.NewBPOr, core.NewBPNand, core.NewBPAndAndOr,
+	} {
+		if err := addBP(b); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range []func(*core.Machine) (*core.TSXGate, error){
+		core.NewTSXAnd, core.NewTSXOr, core.NewTSXAssign, core.NewTSXXor,
+	} {
+		if err := addTSX(b); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func appendTable2Row(t *Table, rep core.AccuracyReport, p Params) {
+	ref := paperTable2[rep.Gate]
+	simSecs := float64(rep.Cycles) / p.ClockHz
+	t.AddRow(
+		rep.Gate,
+		fmt.Sprintf("%d", rep.Operations),
+		fmt.Sprintf("%.3f", simSecs),
+		fmt.Sprintf("%.0f", rep.OpsPerSecond(p.ClockHz)),
+		fmt.Sprintf("%.3f%%", rep.Accuracy()*100),
+		fmt.Sprintf("%.0f", ref.opsPerSec),
+		fmt.Sprintf("%.1f%%", ref.accuracy*100),
+	)
+}
+
+// Table3 reproduces the wm_apt trigger-count statistics, and returns
+// the raw counts for Figure 6's histogram.
+func Table3(p Params) (*Table, []int64, error) {
+	p.normalize()
+	counts := make([]int64, 0, p.Experiments)
+	for i := 0; i < p.Experiments; i++ {
+		n, err := wmapt.RunTriggerExperiment(p.Seed+uint64(i)*7919, wmapt.ReverseShell{
+			Addr: "10.0.0.1", Port: 4444,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		counts = append(counts, int64(n))
+	}
+	s := stats.SummarizeInts(counts)
+	t := &Table{
+		Title:  "Table 3: Triggers required for successful wm_apt transform",
+		Header: []string{"", "Min", "Q1", "Med", "Q3", "Max", "Std Dev"},
+		Notes: []string{
+			fmt.Sprintf("%d experiments, reverse-shell payload, eval multiple %d", p.Experiments, wmapt.DefaultEvalMultiple),
+			"paper: Min 1, Q1 2, Med 6, Q3 11, Max 69, Std Dev 12.19",
+		},
+	}
+	t.AddRow("Triggers",
+		fmt.Sprintf("%.0f", s.Min), fmt.Sprintf("%.0f", s.Q1), fmt.Sprintf("%.0f", s.Median),
+		fmt.Sprintf("%.0f", s.Q3), fmt.Sprintf("%.0f", s.Max), fmt.Sprintf("%.2f", s.StdDev))
+	return t, counts, nil
+}
+
+// Figure6 renders the histogram of trigger counts from Table 3's data.
+func Figure6(counts []int64) string {
+	bins := stats.HistogramInts(counts, 2)
+	return "== Figure 6: Histogram of wm_apt triggers yielding successful transform ==\n" +
+		stats.RenderHistogram(bins, 50)
+}
+
+// Table4 reproduces the SHA-1 gate-correctness experiment: hash a
+// message of SHA1Blocks blocks with skelly redundancy s/k/n and report
+// per-gate correctness after median and after vote.
+func Table4(p Params) (*Table, error) {
+	p.normalize()
+	m, err := core.NewMachine(core.Options{
+		Seed:            p.Seed,
+		Noise:           noise.PaperIsolated(),
+		TrainIterations: 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sk, err := skelly.New(m, skelly.Config{S: p.SHA1S, K: p.SHA1K, N: p.SHA1N, Verify: true})
+	if err != nil {
+		return nil, err
+	}
+	h := sha1wm.New(sk)
+
+	// A message that pads to exactly SHA1Blocks blocks.
+	msgLen := p.SHA1Blocks*sha1wm.BlockSize - 9
+	msg := make([]byte, msgLen)
+	for i := range msg {
+		msg[i] = byte('a' + i%26)
+	}
+	digest, err := h.Sum(msg)
+	if err != nil {
+		return nil, err
+	}
+	ok := digest == sha1wm.Sum(msg)
+
+	t := &Table{
+		Title:  fmt.Sprintf("Table 4: Correct / incorrect gate executions in %d-block SHA-1 hash experiment", p.SHA1Blocks),
+		Header: []string{"Gate", "Correct After Median", "Correct After Vote"},
+		Notes: []string{
+			fmt.Sprintf("redundancy s=%d k=%d n=%d; digest %x; matches reference: %v; %.1f%% of intermediate values architecturally visible",
+				p.SHA1S, p.SHA1K, p.SHA1N, digest, ok, h.Stats().VisibleFraction()*100),
+			"paper (s=10,k=3,n=5, 2 blocks): every vote correct; AND_AND_OR medians 1,794,238/1,794,240",
+		},
+	}
+	for _, g := range []string{"AND", "OR", "NAND", "AND_AND_OR"} {
+		c := sk.Counters(g)
+		t.AddRow(g,
+			fmt.Sprintf("%d/%d = %.6f", c.MedianCorrect, c.MedianOps, ratio(c.MedianCorrect, c.MedianOps)),
+			fmt.Sprintf("%d/%d = %.6f", c.VoteCorrect, c.VoteOps, ratio(c.VoteCorrect, c.VoteOps)))
+	}
+	if !ok {
+		t.Notes = append(t.Notes, "WARNING: digest mismatch — a vote error escaped redundancy")
+	}
+	return t, nil
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Table5 reproduces the BP/IC gate accuracy evaluation under the §6.1
+// isolated-core setup.
+func Table5(p Params) (*Table, error) {
+	p.normalize()
+	m, err := core.NewMachine(core.Options{
+		Seed:            p.Seed,
+		Noise:           noise.PaperIsolated(),
+		TrainIterations: 4,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := noise.NewRNG(p.Seed + 5)
+	t := &Table{
+		Title:  "Table 5: BPU and instruction cache weird gate accuracy evaluation",
+		Header: []string{"Gate", "Operations", "Correct", "Mean Accuracy"},
+		Notes:  []string{"paper (320,000 ops): AND 0.99998125, OR 0.9999625"},
+	}
+	for _, build := range []func(*core.Machine) (*core.BPGate, error){core.NewBPAnd, core.NewBPOr} {
+		g, err := build(m)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := core.MeasureBPGate(g, p.Table5Ops, rng)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(g.Name(), fmt.Sprintf("%d", rep.Operations), fmt.Sprintf("%d", rep.Correct),
+			fmt.Sprintf("%.8f", rep.Accuracy()))
+	}
+	return t, nil
+}
+
+// delayTable renders per-input-combination delay statistics in the
+// shape of Tables 6 and 7.
+func delayTable(title string, labels []string, samplesPerRow [][]float64, paperNote string) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"Input", "Min", "Q1", "Med", "Q3", "Max", "Std Dev", "Mean"},
+		Notes:  []string{paperNote},
+	}
+	for i, label := range labels {
+		s := stats.Summarize(samplesPerRow[i])
+		t.AddRow(label,
+			fmt.Sprintf("%.0f", s.Min), fmt.Sprintf("%.0f", s.Q1), fmt.Sprintf("%.0f", s.Median),
+			fmt.Sprintf("%.0f", s.Q3), fmt.Sprintf("%.0f", s.Max),
+			fmt.Sprintf("%.6f", s.StdDev), fmt.Sprintf("%.6f", s.Mean))
+	}
+	return t
+}
+
+// Table6 reproduces the TSX-AND-OR measurement delay distributions:
+// eight rows, one per (gate output, input combination) pair.
+func Table6(p Params) (*Table, error) {
+	p.normalize()
+	m, err := core.NewMachine(core.Options{Seed: p.Seed, Noise: noise.Paper()})
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.NewTSXAndOr(m)
+	if err != nil {
+		return nil, err
+	}
+	samples, err := core.CollectTSXDelays(g, p.Table6Ops)
+	if err != nil {
+		return nil, err
+	}
+	labels := []string{
+		"AND (0,0)", "AND (1,0)", "AND (0,1)", "AND (1,1)",
+		"OR (0,0)", "OR (1,0)", "OR (0,1)", "OR (1,1)",
+	}
+	rows := make([][]float64, 8)
+	for _, s := range samples {
+		if readAborted(s.Deltas) {
+			continue
+		}
+		combo := s.Inputs[0] + 2*s.Inputs[1]
+		rows[combo] = append(rows[combo], float64(s.Deltas[0]))     // AND output
+		rows[4+combo] = append(rows[4+combo], float64(s.Deltas[1])) // OR output
+	}
+	return delayTable("Table 6: TSX-AND-OR measurement delay (CPU cycles)", labels, rows,
+		"paper medians: miss rows ≈ 217–224, hit rows ≈ 36; maxima ≈ 5k–21k"), nil
+}
+
+// Table7 reproduces the TSX-XOR measurement delay distributions.
+func Table7(p Params) (*Table, error) {
+	p.normalize()
+	m, err := core.NewMachine(core.Options{Seed: p.Seed, Noise: noise.Paper()})
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.NewTSXXor(m)
+	if err != nil {
+		return nil, err
+	}
+	samples, err := core.CollectTSXDelays(g, p.Table6Ops)
+	if err != nil {
+		return nil, err
+	}
+	labels := []string{"0,0", "1,0", "0,1", "1,1"}
+	rows := make([][]float64, 4)
+	for _, s := range samples {
+		if readAborted(s.Deltas) {
+			continue
+		}
+		combo := s.Inputs[0] + 2*s.Inputs[1]
+		rows[combo] = append(rows[combo], float64(s.Deltas[0]))
+	}
+	return delayTable("Table 7: TSX-XOR measurement delay (CPU cycles)", labels, rows,
+		"paper medians: (0,0) and (1,1) ≈ 222 (miss); (0,1) and (1,0) ≈ 36 (hit)"), nil
+}
+
+// readAborted recognises the sentinel deltas an aborted read
+// transaction reports; those samples carry no timing information.
+func readAborted(deltas []int64) bool {
+	for _, d := range deltas {
+		if d >= 1<<19 {
+			return true
+		}
+	}
+	return false
+}
+
+// Table8 reproduces the TSX gate accuracy table, counting spurious
+// (unrecovered) aborts separately.
+func Table8(p Params) (*Table, error) {
+	p.normalize()
+	m, err := core.NewMachine(core.Options{Seed: p.Seed, Noise: noise.Paper()})
+	if err != nil {
+		return nil, err
+	}
+	return table8On(m, p, "Table 8: TSX Gate Accuracy")
+}
+
+func table8On(m *core.Machine, p Params, title string) (*Table, error) {
+	rng := noise.NewRNG(p.Seed + 8)
+	t := &Table{
+		Title:  title,
+		Header: []string{"Gate", "Correct Ops", "TSX Aborts", "Total Ops", "Mean Accuracy"},
+		Notes:  []string{"paper (64,000 ops): AND 0.98250, OR 0.96753, AND-OR 0.97775, XOR 0.92592; 7–12 aborts"},
+	}
+	for _, build := range []func(*core.Machine) (*core.TSXGate, error){
+		core.NewTSXAnd, core.NewTSXOr, core.NewTSXAndOr, core.NewTSXXor,
+	} {
+		g, err := build(m)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := core.MeasureTSXGate(g, p.Table8Ops, rng)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(g.Name(), fmt.Sprintf("%d", rep.Correct), fmt.Sprintf("%d", rep.SpuriousAborts),
+			fmt.Sprintf("%d", rep.Operations), fmt.Sprintf("%.5f", rep.Accuracy()))
+	}
+	return t, nil
+}
+
+// FigureKDE generates the measured-timing kernel density estimates of
+// Figures 7 (AND) and 8 (OR): one curve per expected logic level.
+func FigureKDE(p Params, gate string) (string, []stats.Point, []stats.Point, error) {
+	p.normalize()
+	m, err := core.NewMachine(core.Options{
+		Seed:            p.Seed,
+		Noise:           noise.PaperIsolated(),
+		TrainIterations: 4,
+	})
+	if err != nil {
+		return "", nil, nil, err
+	}
+	var g *core.BPGate
+	var figure string
+	switch gate {
+	case "AND":
+		g, err = core.NewBPAnd(m)
+		figure = "Figure 7: bp/icache AND Gate - Measured Timing KDE"
+	case "OR":
+		g, err = core.NewBPOr(m)
+		figure = "Figure 8: bp/icache OR Gate - Measured Timing KDE"
+	default:
+		return "", nil, nil, fmt.Errorf("evalharness: unknown KDE gate %q", gate)
+	}
+	if err != nil {
+		return "", nil, nil, err
+	}
+	rng := noise.NewRNG(p.Seed + 7)
+	zeros, ones, err := core.CollectBPTimings(g, p.FigureOps, rng)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	// Clip the interrupt tail so the KDE shows the logic-level
+	// boundary, as the paper's figures do.
+	clip := func(xs []int64) []float64 {
+		out := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if x < 600 {
+				out = append(out, float64(x))
+			}
+		}
+		return out
+	}
+	k0 := stats.KDE(clip(zeros), 4, 60)
+	k1 := stats.KDE(clip(ones), 4, 60)
+	text := "== " + figure + " ==\n-- logic 0 (expected slow reads) --\n" +
+		stats.RenderKDE(k0, 50) +
+		"-- logic 1 (expected fast reads) --\n" +
+		stats.RenderKDE(k1, 50) +
+		fmt.Sprintf("threshold = %d cycles\n", m.Threshold())
+	return text, k0, k1, nil
+}

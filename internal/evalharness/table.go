@@ -1,0 +1,191 @@
+// Package evalharness regenerates every table and figure of the
+// paper's evaluation section (§6) against the simulated weird machine:
+//
+//	Table 2   — gate throughput and accuracy overview
+//	Table 3   — wm_apt triggers required (with Figure 6's histogram)
+//	Table 4   — SHA-1 gate correctness after median and after vote
+//	Table 5   — BP/IC gate accuracy at 320k operations
+//	Table 6   — TSX-AND-OR measurement delay distributions
+//	Table 7   — TSX-XOR measurement delay distributions
+//	Table 8   — TSX gate accuracy and unrecovered aborts
+//	Figure 7  — KDE of bp/icache AND gate timings
+//	Figure 8  — KDE of bp/icache OR gate timings
+//
+// Each experiment returns a Table (plus raw series for the figures);
+// cmd/uwm-bench renders them, bench_test.go wraps them in testing.B
+// benchmarks, and EXPERIMENTS.md records a full run.
+package evalharness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render lays the table out as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Params scales every experiment. Zero values select Quick sizes; the
+// Full preset matches the paper's operation counts.
+type Params struct {
+	Seed uint64
+	// Ops is the per-gate operation count for accuracy experiments
+	// (paper: 1M for Table 2, 320k for Table 5, 64k for Tables 6–8).
+	Table2Ops int
+	Table5Ops int
+	Table6Ops int // per input combination
+	Table8Ops int
+	// Experiments is the wm_apt repeat count (paper: 100).
+	Experiments int
+	// SHA1S/K/N are the skelly redundancy parameters (paper: 10/3/5);
+	// SHA1Blocks is the hashed message's block count (paper: 2).
+	SHA1S, SHA1K, SHA1N int
+	SHA1Blocks          int
+	// FigureOps is the sample count for the KDE figures.
+	FigureOps int
+	// TrainIterations applies to BP gates in Table 2 (throughput
+	// shape); accuracy experiments use a small value for speed.
+	TrainIterations int
+	// ClockHz converts simulated cycles to seconds (paper: 2.3 GHz).
+	ClockHz float64
+}
+
+// Quick returns parameters sized for CI and `go test -bench`.
+func Quick() Params {
+	return Params{
+		Seed:        2021,
+		Table2Ops:   4000,
+		Table5Ops:   8000,
+		Table6Ops:   2000,
+		Table8Ops:   8000,
+		Experiments: 20,
+		SHA1S:       3, SHA1K: 1, SHA1N: 1,
+		SHA1Blocks:      1,
+		FigureOps:       4000,
+		TrainIterations: 100,
+		ClockHz:         2.3e9,
+	}
+}
+
+// Record returns the sizes used for the committed EXPERIMENTS.md run:
+// paper-sized where that is cheap (Tables 3, 4, 5, 8), scaled down only
+// where the paper's 1M-op sweeps would take an hour on the simulator
+// (Table 2 and the KDE figures).
+func Record() Params {
+	return Params{
+		Seed:        2021,
+		Table2Ops:   40_000,
+		Table5Ops:   320_000,
+		Table6Ops:   16_000,
+		Table8Ops:   64_000,
+		Experiments: 100,
+		SHA1S:       10, SHA1K: 3, SHA1N: 5,
+		SHA1Blocks:      2,
+		FigureOps:       80_000,
+		TrainIterations: 100,
+		ClockHz:         2.3e9,
+	}
+}
+
+// Full returns the paper's experiment sizes. A complete run takes tens
+// of minutes of wall-clock time on the simulator.
+func Full() Params {
+	return Params{
+		Seed:        2021,
+		Table2Ops:   1_000_000,
+		Table5Ops:   320_000,
+		Table6Ops:   16_000,
+		Table8Ops:   64_000,
+		Experiments: 100,
+		SHA1S:       10, SHA1K: 3, SHA1N: 5,
+		SHA1Blocks:      2,
+		FigureOps:       320_000,
+		TrainIterations: 100,
+		ClockHz:         2.3e9,
+	}
+}
+
+func (p *Params) normalize() {
+	q := Quick()
+	if p.Seed == 0 {
+		p.Seed = q.Seed
+	}
+	if p.Table2Ops == 0 {
+		p.Table2Ops = q.Table2Ops
+	}
+	if p.Table5Ops == 0 {
+		p.Table5Ops = q.Table5Ops
+	}
+	if p.Table6Ops == 0 {
+		p.Table6Ops = q.Table6Ops
+	}
+	if p.Table8Ops == 0 {
+		p.Table8Ops = q.Table8Ops
+	}
+	if p.Experiments == 0 {
+		p.Experiments = q.Experiments
+	}
+	if p.SHA1S == 0 {
+		p.SHA1S, p.SHA1K, p.SHA1N = q.SHA1S, q.SHA1K, q.SHA1N
+	}
+	if p.SHA1Blocks == 0 {
+		p.SHA1Blocks = q.SHA1Blocks
+	}
+	if p.FigureOps == 0 {
+		p.FigureOps = q.FigureOps
+	}
+	if p.TrainIterations == 0 {
+		p.TrainIterations = q.TrainIterations
+	}
+	if p.ClockHz == 0 {
+		p.ClockHz = q.ClockHz
+	}
+}

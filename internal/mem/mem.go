@@ -1,0 +1,232 @@
+// Package mem provides the simulated flat physical memory and the symbol
+// layout used by μWM programs. Weird registers are named memory locations
+// (symbols) whose cache-residency — not whose stored value — carries the
+// machine's logical state, so the symbol table is the natural unit the
+// rest of the system works with.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Addr is a simulated physical byte address.
+type Addr uint64
+
+// LineSize is the cache line size in bytes. All cache geometry in the
+// simulator derives from it.
+const LineSize = 64
+
+// Line returns the address of the cache line containing a.
+func (a Addr) Line() Addr { return a &^ (LineSize - 1) }
+
+// Offset returns a's offset within its cache line.
+func (a Addr) Offset() uint64 { return uint64(a) & (LineSize - 1) }
+
+// pageBytes is the granularity of sparse allocation (4 KiB pages).
+const (
+	pageBytes = 4096
+	pageWords = pageBytes / 8
+)
+
+type page [pageWords]uint64
+
+// Memory is a sparse 64-bit-word-addressable flat memory backed by
+// 4 KiB pages. Reads of never-written locations return zero, like
+// freshly mapped pages. Page-based storage keeps the simulator's
+// hottest path (gate loads and stores) off map lookups per word.
+type Memory struct {
+	pages map[Addr]*page
+	// last-page cache: gate programs hammer a handful of lines.
+	lastBase Addr
+	lastPage *page
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[Addr]*page)}
+}
+
+// lookup returns the page containing addr, or nil if never written.
+func (m *Memory) lookup(addr Addr) *page {
+	base := addr &^ (pageBytes - 1)
+	if m.lastPage != nil && m.lastBase == base {
+		return m.lastPage
+	}
+	p := m.pages[base]
+	if p != nil {
+		m.lastBase, m.lastPage = base, p
+	}
+	return p
+}
+
+// ensure returns the page containing addr, allocating it if needed.
+func (m *Memory) ensure(addr Addr) *page {
+	if p := m.lookup(addr); p != nil {
+		return p
+	}
+	base := addr &^ (pageBytes - 1)
+	p := new(page)
+	m.pages[base] = p
+	m.lastBase, m.lastPage = base, p
+	return p
+}
+
+// Read64 returns the 8-byte word at addr (addr is rounded down to an
+// 8-byte boundary).
+func (m *Memory) Read64(addr Addr) uint64 {
+	p := m.lookup(addr)
+	if p == nil {
+		return 0
+	}
+	return p[addr>>3&(pageWords-1)]
+}
+
+// Write64 stores an 8-byte word at addr (rounded down to an 8-byte
+// boundary).
+func (m *Memory) Write64(addr Addr, v uint64) {
+	m.ensure(addr)[addr>>3&(pageWords-1)] = v
+}
+
+// Read8 returns the byte at addr.
+func (m *Memory) Read8(addr Addr) byte {
+	return byte(m.Read64(addr) >> (8 * (addr & 7)))
+}
+
+// Write8 stores one byte at addr.
+func (m *Memory) Write8(addr Addr, v byte) {
+	shift := 8 * (addr & 7)
+	w := m.Read64(addr)
+	w = (w &^ (uint64(0xff) << shift)) | uint64(v)<<shift
+	m.Write64(addr, w)
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (m *Memory) ReadBytes(addr Addr, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.Read8(addr + Addr(i))
+	}
+	return out
+}
+
+// WriteBytes stores b starting at addr.
+func (m *Memory) WriteBytes(addr Addr, b []byte) {
+	for i, v := range b {
+		m.Write8(addr+Addr(i), v)
+	}
+}
+
+// Snapshot returns a copy of all non-zero words, used for forensic
+// memory views and state comparison.
+func (m *Memory) Snapshot() map[Addr]uint64 {
+	cp := make(map[Addr]uint64)
+	for base, p := range m.pages {
+		for i, v := range p {
+			if v != 0 {
+				cp[base+Addr(i*8)] = v
+			}
+		}
+	}
+	return cp
+}
+
+// Restore replaces the memory contents with a snapshot.
+func (m *Memory) Restore(snap map[Addr]uint64) {
+	m.pages = make(map[Addr]*page)
+	m.lastPage = nil
+	for a, v := range snap {
+		m.Write64(a, v)
+	}
+}
+
+// Symbol is a named, sized allocation in the simulated address space.
+type Symbol struct {
+	Name string
+	Addr Addr
+	Size uint64
+}
+
+// Layout is a bump allocator with a symbol table. Data symbols for weird
+// registers are always line-aligned so that one symbol maps to exactly
+// one cache line — the paper's skelly framework performs the same
+// alignment management (§6.2).
+type Layout struct {
+	next    Addr
+	symbols map[string]Symbol
+}
+
+// NewLayout returns a Layout allocating from base upward.
+func NewLayout(base Addr) *Layout {
+	return &Layout{next: base, symbols: make(map[string]Symbol)}
+}
+
+// Alloc reserves size bytes with the given alignment (which must be a
+// power of two; 0 means LineSize) under name. It panics if the name is
+// already taken — symbol names identify weird registers, so collisions
+// are programming errors.
+func (l *Layout) Alloc(name string, size, align uint64) Symbol {
+	if _, dup := l.symbols[name]; dup {
+		panic(fmt.Sprintf("mem: duplicate symbol %q", name))
+	}
+	if align == 0 {
+		align = LineSize
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d is not a power of two", align))
+	}
+	a := (uint64(l.next) + align - 1) &^ (align - 1)
+	sym := Symbol{Name: name, Addr: Addr(a), Size: size}
+	l.symbols[name] = sym
+	l.next = Addr(a + size)
+	return sym
+}
+
+// AllocLine reserves one full, line-aligned cache line under name. This
+// is the standard shape of a data-cache weird register.
+func (l *Layout) AllocLine(name string) Symbol {
+	return l.Alloc(name, LineSize, LineSize)
+}
+
+// AllocAt registers a symbol at an explicit address, outside the bump
+// region. Eviction-set constructions use it to place lines at exact
+// cache-set-aliasing strides from a victim line. The caller is
+// responsible for avoiding overlaps; the bump pointer is not moved.
+func (l *Layout) AllocAt(name string, addr Addr, size uint64) Symbol {
+	if _, dup := l.symbols[name]; dup {
+		panic(fmt.Sprintf("mem: duplicate symbol %q", name))
+	}
+	sym := Symbol{Name: name, Addr: addr, Size: size}
+	l.symbols[name] = sym
+	return sym
+}
+
+// Lookup returns the symbol with the given name.
+func (l *Layout) Lookup(name string) (Symbol, bool) {
+	s, ok := l.symbols[name]
+	return s, ok
+}
+
+// MustLookup returns the symbol with the given name, panicking if it does
+// not exist. Gate builders use it for symbols they allocated themselves.
+func (l *Layout) MustLookup(name string) Symbol {
+	s, ok := l.symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("mem: unknown symbol %q", name))
+	}
+	return s
+}
+
+// Symbols returns all symbols sorted by address, for diagnostics and for
+// the analyzer's memory map.
+func (l *Layout) Symbols() []Symbol {
+	out := make([]Symbol, 0, len(l.symbols))
+	for _, s := range l.symbols {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// End returns the first unallocated address.
+func (l *Layout) End() Addr { return l.next }

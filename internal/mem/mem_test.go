@@ -1,0 +1,167 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestLineArithmetic(t *testing.T) {
+	cases := []struct {
+		addr   Addr
+		line   Addr
+		offset uint64
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{63, 0, 63},
+		{64, 64, 0},
+		{0x1234, 0x1200, 0x34},
+	}
+	for _, c := range cases {
+		if got := c.addr.Line(); got != c.line {
+			t.Errorf("%#x.Line() = %#x, want %#x", uint64(c.addr), uint64(got), uint64(c.line))
+		}
+		if got := c.addr.Offset(); got != c.offset {
+			t.Errorf("%#x.Offset() = %d, want %d", uint64(c.addr), got, c.offset)
+		}
+	}
+}
+
+func TestLinePropertyBased(t *testing.T) {
+	f := func(a uint64) bool {
+		addr := Addr(a)
+		return uint64(addr.Line())%LineSize == 0 &&
+			uint64(addr.Line())+addr.Offset() == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryWordAccess(t *testing.T) {
+	m := New()
+	if m.Read64(0x100) != 0 {
+		t.Error("fresh memory should read zero")
+	}
+	m.Write64(0x100, 0xdeadbeefcafef00d)
+	if got := m.Read64(0x100); got != 0xdeadbeefcafef00d {
+		t.Errorf("Read64 = %#x", got)
+	}
+	// Unaligned addresses round down to the word.
+	if got := m.Read64(0x103); got != 0xdeadbeefcafef00d {
+		t.Errorf("unaligned Read64 = %#x", got)
+	}
+}
+
+func TestMemoryByteAccess(t *testing.T) {
+	m := New()
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	m.WriteBytes(0x205, data) // deliberately unaligned
+	if got := m.ReadBytes(0x205, len(data)); !bytes.Equal(got, data) {
+		t.Errorf("ReadBytes = %v, want %v", got, data)
+	}
+	if m.Read8(0x205) != 1 || m.Read8(0x20f) != 11 {
+		t.Error("byte boundaries wrong")
+	}
+}
+
+func TestByteRoundTripProperty(t *testing.T) {
+	f := func(addr uint16, data []byte) bool {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		m := New()
+		m.WriteBytes(Addr(addr), data)
+		return bytes.Equal(m.ReadBytes(Addr(addr), len(data)), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	m := New()
+	m.Write64(8, 42)
+	m.Write64(16, 43)
+	snap := m.Snapshot()
+	m.Write64(8, 99)
+	m.Write64(24, 1)
+	m.Restore(snap)
+	if m.Read64(8) != 42 || m.Read64(16) != 43 || m.Read64(24) != 0 {
+		t.Errorf("restore failed: %d %d %d", m.Read64(8), m.Read64(16), m.Read64(24))
+	}
+}
+
+func TestLayoutAlloc(t *testing.T) {
+	l := NewLayout(0x1000)
+	a := l.AllocLine("a")
+	b := l.AllocLine("b")
+	if a.Addr%LineSize != 0 || b.Addr%LineSize != 0 {
+		t.Error("AllocLine not line-aligned")
+	}
+	if b.Addr < a.Addr+LineSize {
+		t.Error("allocations overlap")
+	}
+	if got := l.MustLookup("a"); got != a {
+		t.Error("lookup mismatch")
+	}
+	if _, ok := l.Lookup("missing"); ok {
+		t.Error("lookup of missing symbol succeeded")
+	}
+	if s := l.Symbols(); len(s) != 2 || s[0].Name != "a" {
+		t.Errorf("Symbols() = %v", s)
+	}
+}
+
+func TestLayoutAllocAlignment(t *testing.T) {
+	l := NewLayout(0x1001) // misaligned base
+	s := l.Alloc("x", 8, 256)
+	if s.Addr%256 != 0 {
+		t.Errorf("Alloc alignment violated: %#x", uint64(s.Addr))
+	}
+}
+
+func TestLayoutDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Alloc did not panic")
+		}
+	}()
+	l := NewLayout(0)
+	l.AllocLine("dup")
+	l.AllocLine("dup")
+}
+
+func TestLayoutBadAlignmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two alignment did not panic")
+		}
+	}()
+	l := NewLayout(0)
+	l.Alloc("x", 8, 3)
+}
+
+func TestAllocAt(t *testing.T) {
+	l := NewLayout(0x1000)
+	s := l.AllocAt("ev", 0x90040, LineSize)
+	if s.Addr != 0x90040 {
+		t.Errorf("AllocAt placed at %#x", uint64(s.Addr))
+	}
+	if l.End() != 0x1000 {
+		t.Error("AllocAt moved the bump pointer")
+	}
+	if got := l.MustLookup("ev"); got.Addr != 0x90040 {
+		t.Error("AllocAt not in symbol table")
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup of missing symbol did not panic")
+		}
+	}()
+	NewLayout(0).MustLookup("nope")
+}

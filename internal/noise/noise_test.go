@@ -1,0 +1,206 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed produced a dead stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %f", f)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(8)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("Intn(10) value %d drawn %d/10000 times", v, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestBoolProbabilities(t *testing.T) {
+	r := NewRNG(9)
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	n := 0
+	for i := 0; i < 100000; i++ {
+		if r.Bool(0.25) {
+			n++
+		}
+	}
+	if n < 23500 || n > 26500 {
+		t.Errorf("Bool(0.25) fired %d/100000", n)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(10)
+	var sum, ss float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		ss += x * x
+	}
+	mean := sum / n
+	variance := ss/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %f", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("variance = %f", variance)
+	}
+}
+
+func TestBitBalance(t *testing.T) {
+	r := NewRNG(11)
+	ones := 0
+	for i := 0; i < 10000; i++ {
+		ones += r.Bit()
+	}
+	if ones < 4700 || ones > 5300 {
+		t.Errorf("Bit() ones = %d/10000", ones)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		p := r.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSourceQuietIsSilent(t *testing.T) {
+	s := NewSource(1, Quiet())
+	for i := 0; i < 1000; i++ {
+		if s.TimerJitter() != 0 || s.WindowJitter() != 0 || s.MemJitter() != 0 {
+			t.Fatal("quiet source produced jitter")
+		}
+		if _, hit := s.Outlier(); hit {
+			t.Fatal("quiet source produced an outlier")
+		}
+		if s.Evicted() || s.StrayFill() || s.SpuriousAbort() || s.TrainFail() || s.ChainBreak() {
+			t.Fatal("quiet source fired an event")
+		}
+	}
+}
+
+func TestSourceOutlierBounds(t *testing.T) {
+	cfg := Paper()
+	cfg.OutlierProb = 1
+	s := NewSource(2, cfg)
+	for i := 0; i < 1000; i++ {
+		d, hit := s.Outlier()
+		if !hit {
+			t.Fatal("OutlierProb=1 missed")
+		}
+		if d < cfg.OutlierMin || d > cfg.OutlierMax {
+			t.Fatalf("outlier %d outside [%d,%d]", d, cfg.OutlierMin, cfg.OutlierMax)
+		}
+	}
+}
+
+func TestSourceRates(t *testing.T) {
+	cfg := Config{SpuriousAbortProb: 0.1, TSXChainBreakProb: 0.3}
+	s := NewSource(3, cfg)
+	aborts, breaks := 0, 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.SpuriousAbort() {
+			aborts++
+		}
+		if s.ChainBreak() {
+			breaks++
+		}
+	}
+	if aborts < 9000 || aborts > 11000 {
+		t.Errorf("abort rate %d/%d", aborts, n)
+	}
+	if breaks < 28500 || breaks > 31500 {
+		t.Errorf("chain-break rate %d/%d", breaks, n)
+	}
+}
+
+func TestProfilesOrdering(t *testing.T) {
+	p, i, n := Paper(), PaperIsolated(), Noisy()
+	if i.OutlierProb >= p.OutlierProb {
+		t.Error("isolated profile should have fewer outliers than paper")
+	}
+	if n.TSXChainBreakProb <= p.TSXChainBreakProb {
+		t.Error("noisy profile should break chains more often")
+	}
+	if i.TSXChainBreakProb != p.TSXChainBreakProb {
+		t.Error("isolation should not change chain-break rate")
+	}
+}
+
+func TestSetConfigKeepsStream(t *testing.T) {
+	s := NewSource(5, Quiet())
+	_ = s.RNG().Uint64()
+	s.SetConfig(Paper())
+	if s.Config().OutlierProb != Paper().OutlierProb {
+		t.Error("SetConfig lost the config")
+	}
+}

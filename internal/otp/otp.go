@@ -1,0 +1,72 @@
+// Package otp provides the one-time-pad trigger tooling of the weird
+// obfuscation system (§5.1): 160-bit pads, XOR helpers, and the ping
+// payload encoding used to deliver a trigger ("ping localhost -p
+// $XOR_SECRET" in the paper's experiment).
+package otp
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"uwm/internal/noise"
+)
+
+// PadBits is the trigger length in bits (the paper's 160-bit pad).
+const PadBits = 160
+
+// PadBytes is the trigger length in bytes.
+const PadBytes = PadBits / 8
+
+// Pad is a one-time pad / trigger value.
+type Pad [PadBytes]byte
+
+// NewPad draws a random pad from the given RNG.
+func NewPad(rng *noise.RNG) Pad {
+	var p Pad
+	rng.Bytes(p[:])
+	return p
+}
+
+// XOR returns a ⊕ b for equal-length slices.
+func XOR(a, b []byte) ([]byte, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("otp: length mismatch %d vs %d", len(a), len(b))
+	}
+	out := make([]byte, len(a))
+	for i := range a {
+		out[i] = a[i] ^ b[i]
+	}
+	return out, nil
+}
+
+// Bit returns bit i (LSB-first within bytes) of data.
+func Bit(data []byte, i int) int {
+	return int(data[i/8] >> uint(i%8) & 1)
+}
+
+// SetBit sets bit i (LSB-first within bytes) of data to v.
+func SetBit(data []byte, i, v int) {
+	if v != 0 {
+		data[i/8] |= 1 << uint(i%8)
+	} else {
+		data[i/8] &^= 1 << uint(i%8)
+	}
+}
+
+// PingPattern encodes the pad the way the paper's experiment passes it
+// to ping's -p flag: a hex string.
+func (p Pad) PingPattern() string { return hex.EncodeToString(p[:]) }
+
+// ParsePingPattern decodes a hex trigger back into a Pad.
+func ParsePingPattern(s string) (Pad, error) {
+	var p Pad
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return p, fmt.Errorf("otp: bad ping pattern: %w", err)
+	}
+	if len(b) != PadBytes {
+		return p, fmt.Errorf("otp: ping pattern must encode %d bytes, got %d", PadBytes, len(b))
+	}
+	copy(p[:], b)
+	return p, nil
+}

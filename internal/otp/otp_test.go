@@ -1,0 +1,93 @@
+package otp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"uwm/internal/noise"
+)
+
+func TestXORRoundTrip(t *testing.T) {
+	f := func(a, b [PadBytes]byte) bool {
+		x, err := XOR(a[:], b[:])
+		if err != nil {
+			return false
+		}
+		y, err := XOR(x, b[:])
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(y, a[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXORLengthMismatch(t *testing.T) {
+	if _, err := XOR(make([]byte, 3), make([]byte, 4)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestBitSetBit(t *testing.T) {
+	data := make([]byte, 4)
+	SetBit(data, 0, 1)
+	SetBit(data, 9, 1)
+	SetBit(data, 31, 1)
+	if data[0] != 0x01 || data[1] != 0x02 || data[3] != 0x80 {
+		t.Errorf("data = %x", data)
+	}
+	if Bit(data, 0) != 1 || Bit(data, 9) != 1 || Bit(data, 31) != 1 || Bit(data, 5) != 0 {
+		t.Error("Bit readback wrong")
+	}
+	SetBit(data, 9, 0)
+	if Bit(data, 9) != 0 {
+		t.Error("clearing a bit failed")
+	}
+}
+
+func TestBitRoundTripProperty(t *testing.T) {
+	f := func(raw [PadBytes]byte) bool {
+		out := make([]byte, PadBytes)
+		for i := 0; i < PadBits; i++ {
+			SetBit(out, i, Bit(raw[:], i))
+		}
+		return bytes.Equal(out, raw[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPingPatternRoundTrip(t *testing.T) {
+	rng := noise.NewRNG(5)
+	for i := 0; i < 20; i++ {
+		p := NewPad(rng)
+		got, err := ParsePingPattern(p.PingPattern())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != p {
+			t.Fatalf("round trip failed: %x vs %x", got, p)
+		}
+	}
+}
+
+func TestParsePingPatternErrors(t *testing.T) {
+	if _, err := ParsePingPattern("zz"); err == nil {
+		t.Error("bad hex accepted")
+	}
+	if _, err := ParsePingPattern("abcd"); err == nil {
+		t.Error("short pattern accepted")
+	}
+}
+
+func TestNewPadVariability(t *testing.T) {
+	rng := noise.NewRNG(6)
+	a, b := NewPad(rng), NewPad(rng)
+	if a == b {
+		t.Error("consecutive pads identical")
+	}
+}

@@ -1,0 +1,103 @@
+// Package sha1wm implements SHA-1 twice: a plain reference
+// implementation (used for verification, as the paper's skelly does
+// when comparing "the hash output to a reference SHA-1 implementation",
+// §6.5.2) and a μWM implementation in which every boolean operation and
+// every addition of the compression function runs on weird gates
+// (§5.2). SHA-1 is the paper's stress test for μWM fitness: a single
+// gate error avalanches through the hash, so a correct digest certifies
+// ~10⁵+ correct gate executions per block.
+package sha1wm
+
+import "encoding/binary"
+
+// Size is the SHA-1 digest length in bytes.
+const Size = 20
+
+// BlockSize is the SHA-1 block length in bytes.
+const BlockSize = 64
+
+// initState is the SHA-1 initialization vector (FIPS 180-1).
+var initState = [5]uint32{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0}
+
+// roundK returns the round constant for round t.
+func roundK(t int) uint32 {
+	switch {
+	case t < 20:
+		return 0x5A827999
+	case t < 40:
+		return 0x6ED9EBA1
+	case t < 60:
+		return 0x8F1BBCDC
+	default:
+		return 0xCA62C1D6
+	}
+}
+
+// Pad returns the padded message: the input followed by 0x80, zeros,
+// and the 64-bit big-endian bit length, a multiple of BlockSize long.
+func Pad(msg []byte) []byte {
+	bitLen := uint64(len(msg)) * 8
+	padded := append([]byte(nil), msg...)
+	padded = append(padded, 0x80)
+	for len(padded)%BlockSize != 56 {
+		padded = append(padded, 0)
+	}
+	var lenBytes [8]byte
+	binary.BigEndian.PutUint64(lenBytes[:], bitLen)
+	return append(padded, lenBytes[:]...)
+}
+
+// Blocks splits a padded message into BlockSize chunks.
+func Blocks(padded []byte) [][]byte {
+	out := make([][]byte, 0, len(padded)/BlockSize)
+	for i := 0; i < len(padded); i += BlockSize {
+		out = append(out, padded[i:i+BlockSize])
+	}
+	return out
+}
+
+// rotl is a 32-bit left rotation.
+func rotl(v uint32, n uint) uint32 { return v<<n | v>>(32-n) }
+
+// refF computes the round-dependent boolean function.
+func refF(t int, b, c, d uint32) uint32 {
+	switch {
+	case t < 20:
+		return b&c | ^b&d
+	case t < 40, t >= 60:
+		return b ^ c ^ d
+	default:
+		return b&c | b&d | c&d
+	}
+}
+
+// compressRef runs the SHA-1 compression function on one block.
+func compressRef(state [5]uint32, block []byte) [5]uint32 {
+	var w [80]uint32
+	for i := 0; i < 16; i++ {
+		w[i] = binary.BigEndian.Uint32(block[4*i:])
+	}
+	for i := 16; i < 80; i++ {
+		w[i] = rotl(w[i-3]^w[i-8]^w[i-14]^w[i-16], 1)
+	}
+	a, b, c, d, e := state[0], state[1], state[2], state[3], state[4]
+	for t := 0; t < 80; t++ {
+		tmp := rotl(a, 5) + refF(t, b, c, d) + e + roundK(t) + w[t]
+		e, d, c, b, a = d, c, rotl(b, 30), a, tmp
+	}
+	return [5]uint32{state[0] + a, state[1] + b, state[2] + c, state[3] + d, state[4] + e}
+}
+
+// Sum returns the SHA-1 digest of msg using the reference (purely
+// architectural) implementation.
+func Sum(msg []byte) [Size]byte {
+	state := initState
+	for _, block := range Blocks(Pad(msg)) {
+		state = compressRef(state, block)
+	}
+	var out [Size]byte
+	for i, v := range state {
+		binary.BigEndian.PutUint32(out[4*i:], v)
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package sha1wm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"uwm/internal/skelly"
+)
+
+// Stats aggregates the visibility accounting of one weird hash run:
+// how many of the gate-level intermediate results were stored into
+// architecturally visible memory versus consumed inside composite
+// circuits (the paper reports 41.9% visible for its parameter choice,
+// §5.2 — an adder-heavy workload where each full adder stores 3 of its
+// 7 gate results).
+type Stats struct {
+	GateOps       uint64 // logical gate operations executed
+	VisibleValues uint64 // results stored in architecturally visible memory
+}
+
+// VisibleFraction returns the architecturally visible share of
+// intermediate values.
+func (s Stats) VisibleFraction() float64 {
+	if s.GateOps == 0 {
+		return 0
+	}
+	return float64(s.VisibleValues) / float64(s.GateOps)
+}
+
+// Hasher computes SHA-1 on a weird machine: every boolean function and
+// every modular addition of the compression loop executes on weird
+// gates via skelly; rotations, word packing and the message schedule's
+// data movement are wiring. The message schedule XORs also run on
+// gates.
+type Hasher struct {
+	sk *skelly.Skelly
+}
+
+// New returns a weird-machine SHA-1 hasher over the given skelly
+// library.
+func New(sk *skelly.Skelly) *Hasher { return &Hasher{sk: sk} }
+
+// Stats returns the visibility accounting so far (delegated to skelly,
+// which tracks gate operations and stored results).
+func (h *Hasher) Stats() Stats {
+	return Stats{GateOps: h.sk.TotalGateOps(), VisibleValues: h.sk.VisibleMarks()}
+}
+
+// Skelly exposes the underlying gate library (for counter reporting).
+func (h *Hasher) Skelly() *skelly.Skelly { return h.sk }
+
+// f computes the round function on weird gates.
+func (h *Hasher) f(t int, b, c, d uint32) (uint32, error) {
+	switch {
+	case t < 20:
+		// Ch(b,c,d) = (b AND c) OR (NOT b AND d): one NOT32 and one
+		// AND_AND_OR per bit.
+		nb, err := h.sk.Not32(b)
+		if err != nil {
+			return 0, err
+		}
+		bb, cb := skelly.Bits32(b), skelly.Bits32(c)
+		nbb, db := skelly.Bits32(nb), skelly.Bits32(d)
+		out := make([]int, 32)
+		for i := range out {
+			v, err := h.sk.AndAndOr(bb[i], cb[i], nbb[i], db[i])
+			if err != nil {
+				return 0, err
+			}
+			out[i] = v
+			h.sk.MarkVisible(1) // the AND_AND_OR result is stored
+		}
+		return skelly.Word32(out), nil
+	case t < 40, t >= 60:
+		// Parity(b,c,d) = b XOR c XOR d.
+		bc, err := h.sk.Xor32(b, c)
+		if err != nil {
+			return 0, err
+		}
+		return h.sk.Xor32(bc, d)
+	default:
+		// Maj(b,c,d) = (b AND c) OR (d AND (b XOR c)).
+		bxc, err := h.sk.Xor32(b, c)
+		if err != nil {
+			return 0, err
+		}
+		bb, cb := skelly.Bits32(b), skelly.Bits32(c)
+		db, xb := skelly.Bits32(d), skelly.Bits32(bxc)
+		out := make([]int, 32)
+		for i := range out {
+			v, err := h.sk.AndAndOr(bb[i], cb[i], db[i], xb[i])
+			if err != nil {
+				return 0, err
+			}
+			out[i] = v
+			h.sk.MarkVisible(1) // the AND_AND_OR result is stored
+		}
+		return skelly.Word32(out), nil
+	}
+}
+
+// add is modular addition on weird full adders; Add32's full adders do
+// their own visibility accounting.
+func (h *Hasher) add(a, b uint32) (uint32, error) {
+	return h.sk.Add32(a, b)
+}
+
+// compress runs one block of the compression function on weird gates.
+func (h *Hasher) compress(state [5]uint32, block []byte) ([5]uint32, error) {
+	var w [80]uint32
+	for i := 0; i < 16; i++ {
+		w[i] = binary.BigEndian.Uint32(block[4*i:])
+	}
+	for i := 16; i < 80; i++ {
+		// w[i] = rotl1(w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]) — three
+		// weird XORs, one wire rotation.
+		x, err := h.sk.Xor32(w[i-3], w[i-8])
+		if err != nil {
+			return state, err
+		}
+		x, err = h.sk.Xor32(x, w[i-14])
+		if err != nil {
+			return state, err
+		}
+		x, err = h.sk.Xor32(x, w[i-16])
+		if err != nil {
+			return state, err
+		}
+		w[i] = skelly.RotL32(x, 1)
+	}
+
+	a, b, c, d, e := state[0], state[1], state[2], state[3], state[4]
+	for t := 0; t < 80; t++ {
+		fv, err := h.f(t, b, c, d)
+		if err != nil {
+			return state, err
+		}
+		tmp, err := h.add(skelly.RotL32(a, 5), fv)
+		if err != nil {
+			return state, err
+		}
+		tmp, err = h.add(tmp, e)
+		if err != nil {
+			return state, err
+		}
+		tmp, err = h.add(tmp, roundK(t))
+		if err != nil {
+			return state, err
+		}
+		tmp, err = h.add(tmp, w[t])
+		if err != nil {
+			return state, err
+		}
+		e, d, c, b, a = d, c, skelly.RotL32(b, 30), a, tmp
+	}
+
+	var out [5]uint32
+	for i, v := range []uint32{a, b, c, d, e} {
+		sum, err := h.add(state[i], v)
+		if err != nil {
+			return state, err
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// Sum computes the SHA-1 digest of msg on the weird machine.
+func (h *Hasher) Sum(msg []byte) ([Size]byte, error) {
+	var digest [Size]byte
+	state := initState
+	for i, block := range Blocks(Pad(msg)) {
+		var err error
+		state, err = h.compress(state, block)
+		if err != nil {
+			return digest, fmt.Errorf("sha1wm: block %d: %w", i, err)
+		}
+	}
+	for i, v := range state {
+		binary.BigEndian.PutUint32(digest[4*i:], v)
+	}
+	return digest, nil
+}

@@ -1,0 +1,25 @@
+package skelly_test
+
+import (
+	"fmt"
+
+	"uwm/internal/core"
+	"uwm/internal/skelly"
+)
+
+// ExampleSkelly_Add32 adds two words through 32 weird full adders: no
+// CPU add instruction ever touches the operands (§5.2).
+func ExampleSkelly_Add32() {
+	m := core.MustNewMachine(core.Options{Seed: 5, TrainIterations: 3})
+	sk, err := skelly.New(m, skelly.FastConfig())
+	if err != nil {
+		panic(err)
+	}
+	sum, err := sk.Add32(0xCAFE, 0xF00D)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%#x\n", sum)
+	// Output:
+	// 0x1bb0b
+}

@@ -1,0 +1,186 @@
+// Package trace records the simulator's execution events on two distinct
+// planes: the architectural plane (committed instructions, register and
+// memory writes — everything a debugger or emulator can observe) and the
+// microarchitectural plane (speculative execution, cache fills and
+// evictions, transaction internals — the plane μWMs compute on).
+//
+// The split is the point of the paper: package analyzer builds the
+// defender's view exclusively from architectural events, and the
+// obfuscation tests prove that the weird computation never appears there.
+package trace
+
+import "fmt"
+
+// Kind enumerates event types.
+type Kind uint8
+
+// Event kinds. Kinds below microBoundary are architectural.
+const (
+	KindCommit Kind = iota // architectural: instruction committed
+	KindRegWrite
+	KindMemWrite
+	KindTxBegin // architectural: XBEGIN committed
+	KindTxEnd   // architectural: transaction committed
+	KindTxAbort // architectural: control arrived at abort handler
+
+	microBoundary
+
+	KindSpecStart  Kind = iota // μarch: speculative window opened
+	KindSpecExec               // μarch: instruction executed transiently
+	KindSpecEnd                // μarch: window closed / rolled back
+	KindCacheFill              // μarch: line filled
+	KindCacheEvict             // μarch: line evicted
+	KindCacheFlush             // μarch: line flushed
+	KindTimedRead              // μarch: measured latency value
+	KindNoise                  // μarch: injected noise event
+)
+
+// Architectural reports whether events of this kind are visible on the
+// architectural plane (i.e. to a debugger with full register/memory
+// visibility but no microarchitectural instrumentation).
+func (k Kind) Architectural() bool { return k < microBoundary }
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCommit:
+		return "commit"
+	case KindRegWrite:
+		return "reg-write"
+	case KindMemWrite:
+		return "mem-write"
+	case KindTxBegin:
+		return "tx-begin"
+	case KindTxEnd:
+		return "tx-end"
+	case KindTxAbort:
+		return "tx-abort"
+	case KindSpecStart:
+		return "spec-start"
+	case KindSpecExec:
+		return "spec-exec"
+	case KindSpecEnd:
+		return "spec-end"
+	case KindCacheFill:
+		return "cache-fill"
+	case KindCacheEvict:
+		return "cache-evict"
+	case KindCacheFlush:
+		return "cache-flush"
+	case KindTimedRead:
+		return "timed-read"
+	case KindNoise:
+		return "noise"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded simulator event.
+type Event struct {
+	Kind  Kind
+	Cycle int64  // simulated TSC when the event happened
+	PC    uint64 // code address, when applicable
+	Addr  uint64 // data address, when applicable
+	Value uint64 // written value / measured latency, when applicable
+	Text  string // disassembly or free-form detail
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("[%10d] %-11s pc=%#x addr=%#x val=%d %s",
+		e.Cycle, e.Kind, e.PC, e.Addr, e.Value, e.Text)
+}
+
+// Recorder collects events. The zero value is a disabled recorder; a
+// disabled recorder drops events with near-zero cost so that hot
+// benchmark loops are unaffected.
+type Recorder struct {
+	enabled bool
+	limit   int
+	events  []Event
+	dropped int
+}
+
+// NewRecorder returns an enabled recorder keeping at most limit events
+// (0 means unlimited).
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{enabled: true, limit: limit}
+}
+
+// Enabled reports whether the recorder stores events.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
+
+// SetEnabled toggles recording.
+func (r *Recorder) SetEnabled(on bool) { r.enabled = on }
+
+// Record stores an event if recording is enabled.
+func (r *Recorder) Record(e Event) {
+	if r == nil || !r.enabled {
+		return
+	}
+	if r.limit > 0 && len(r.events) >= r.limit {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns all stored events in order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Dropped returns how many events were discarded due to the limit.
+func (r *Recorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Reset clears stored events.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.events = r.events[:0]
+	r.dropped = 0
+}
+
+// Architectural returns only the events visible on the architectural
+// plane, in order — the defender's complete evidence.
+func (r *Recorder) Architectural() []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind.Architectural() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Filter returns the events of the given kind.
+func (r *Recorder) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns how many events of kind k were recorded.
+func (r *Recorder) Count(k Kind) int {
+	n := 0
+	for _, e := range r.Events() {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

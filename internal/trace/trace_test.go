@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindPlaneSplit(t *testing.T) {
+	arch := []Kind{KindCommit, KindRegWrite, KindMemWrite, KindTxBegin, KindTxEnd, KindTxAbort}
+	micro := []Kind{KindSpecStart, KindSpecExec, KindSpecEnd, KindCacheFill, KindCacheEvict, KindCacheFlush, KindTimedRead, KindNoise}
+	for _, k := range arch {
+		if !k.Architectural() {
+			t.Errorf("%v should be architectural", k)
+		}
+	}
+	for _, k := range micro {
+		if k.Architectural() {
+			t.Errorf("%v should be microarchitectural", k)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{KindCommit, KindRegWrite, KindMemWrite, KindTxBegin,
+		KindTxEnd, KindTxAbort, KindSpecStart, KindSpecExec, KindSpecEnd,
+		KindCacheFill, KindCacheEvict, KindCacheFlush, KindTimedRead, KindNoise} {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if !strings.HasPrefix(Kind(200).String(), "kind(") {
+		t.Error("unknown kind should render numerically")
+	}
+}
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{Kind: KindCommit, Text: "nop"})
+	r.Record(Event{Kind: KindCacheFill, Addr: 0x40})
+	if len(r.Events()) != 2 {
+		t.Fatalf("events = %d", len(r.Events()))
+	}
+	if got := r.Architectural(); len(got) != 1 || got[0].Kind != KindCommit {
+		t.Errorf("architectural = %v", got)
+	}
+	if r.Count(KindCacheFill) != 1 || r.Count(KindMemWrite) != 0 {
+		t.Error("counts wrong")
+	}
+	if f := r.Filter(KindCacheFill); len(f) != 1 || f[0].Addr != 0x40 {
+		t.Error("filter wrong")
+	}
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Kind: KindCommit})
+	}
+	if len(r.Events()) != 3 || r.Dropped() != 7 {
+		t.Errorf("events=%d dropped=%d", len(r.Events()), r.Dropped())
+	}
+	r.Reset()
+	if r.Dropped() != 0 {
+		t.Error("reset did not clear dropped count")
+	}
+}
+
+func TestDisabledRecorderDrops(t *testing.T) {
+	var r Recorder // zero value: disabled
+	r.Record(Event{Kind: KindCommit})
+	if len(r.Events()) != 0 {
+		t.Error("disabled recorder stored an event")
+	}
+	r.SetEnabled(true)
+	r.Record(Event{Kind: KindCommit})
+	if len(r.Events()) != 1 {
+		t.Error("enabled recorder dropped an event")
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: KindCommit}) // must not panic
+	if r.Enabled() || r.Events() != nil || r.Dropped() != 0 {
+		t.Error("nil recorder misbehaved")
+	}
+	r.Reset() // must not panic
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Kind: KindMemWrite, Cycle: 12, PC: 0x40, Addr: 0x80, Value: 9, Text: "x"}
+	s := e.String()
+	for _, want := range []string{"mem-write", "12", "0x40", "0x80"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("event string %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package walu_test
+
+import (
+	"fmt"
+
+	"uwm/internal/core"
+	"uwm/internal/walu"
+)
+
+// ExampleALU adds and compares words on circuits whose every operation
+// is a contiguous chain of aborting transactions.
+func ExampleALU() {
+	m := core.MustNewMachine(core.Options{Seed: 6})
+	alu, err := walu.New(m, 4)
+	if err != nil {
+		panic(err)
+	}
+	sum, carry, err := alu.Add(9, 8)
+	if err != nil {
+		panic(err)
+	}
+	eq, err := alu.Equal(7, 7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("9+8 = %d carry %d; 7==7: %v\n", sum, carry, eq)
+	// Output:
+	// 9+8 = 1 carry 1; 7==7: true
+}

