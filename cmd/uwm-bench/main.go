@@ -21,9 +21,16 @@ import (
 	"time"
 
 	"uwm/internal/evalharness"
+	"uwm/internal/obs"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain returns main's exit code so the observability session
+// closes (metrics exposition, trace flush) on every path.
+func realMain() int {
 	var (
 		tableN   = flag.Int("table", 0, "reproduce one table (2,3,4,5,6,7,8)")
 		figureN  = flag.Int("figure", 0, "reproduce one figure (6,7,8)")
@@ -33,7 +40,9 @@ func main() {
 		full     = flag.Bool("full", false, "use the paper's experiment sizes (slow)")
 		record   = flag.Bool("record", false, "use the EXPERIMENTS.md recording sizes (paper-sized where cheap)")
 		seed     = flag.Uint64("seed", 0, "override the experiment seed")
+		obsCfg   obs.Config
 	)
+	obsCfg.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	params := evalharness.Quick()
@@ -49,14 +58,28 @@ func main() {
 
 	if !*all && *tableN == 0 && *figureN == 0 && !*ablation && !*extra {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
+	sess, err := obs.Start(obsCfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uwm-bench: %v\n", err)
+		return 1
+	}
+	defer sess.Close()
+	params.Metrics = sess.Registry
+	params.Sink = sess.Sink
+
+	code := 0
 	run := func(name string, f func() error) {
+		if code != 0 {
+			return
+		}
 		start := time.Now()
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "uwm-bench: %s: %v\n", name, err)
-			os.Exit(1)
+			code = 1
+			return
 		}
 		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
@@ -181,4 +204,5 @@ func main() {
 			return nil
 		})
 	}
+	return code
 }

@@ -7,23 +7,29 @@
 //
 //	uwm-gates -list
 //	uwm-gates -gate TSX_XOR -truth
-//	uwm-gates -gate AND -disasm
+//	uwm-gates -op and -disasm             # -op is an alias; names are case-insensitive
 //	uwm-gates -gate TSX_AND_OR -sweep 20000 -noise paper
 //	uwm-gates -registers                  # demo every Table 1 weird register
 //	uwm-gates -expr '(a ^ b) & !c'        # compile an expression to a weird circuit
 //	uwm-gates -emucheck                   # §2.1 emulation-detection probe
+//	uwm-gates -op and -metrics -trace-out /tmp/and.json
+//	                                      # truth table + Prometheus metrics +
+//	                                      # Perfetto-loadable trace
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"uwm/internal/bexpr"
 	"uwm/internal/core"
 	"uwm/internal/cpu"
 	"uwm/internal/noise"
+	"uwm/internal/obs"
 	"uwm/internal/trace"
 )
 
@@ -69,10 +75,25 @@ var gates = map[string]gateRunner{
 	"TSX_XOR":    {arity: 2, build: func(m *core.Machine) (runner, error) { g, err := core.NewTSXXor(m); return tsxAdapter{g}, err }},
 }
 
+// lookupGate resolves a -gate/-op argument case-insensitively.
+func lookupGate(name string) (string, gateRunner, bool) {
+	canonical := strings.ToUpper(name)
+	spec, ok := gates[canonical]
+	return canonical, spec, ok
+}
+
 func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code, so the observability session's
+// deferred Close (metrics exposition, trace file flush) survives
+// error paths — os.Exit would skip it.
+func run() int {
 	var (
 		list      = flag.Bool("list", false, "list available gates")
-		gateName  = flag.String("gate", "", "gate to explore")
+		gateName  = flag.String("gate", "", "gate to explore (case-insensitive; try -list)")
+		opName    = flag.String("op", "", "alias for -gate")
 		truth     = flag.Bool("truth", false, "run the gate's full truth table")
 		disasm    = flag.Bool("disasm", false, "print the gate program's disassembly")
 		sweep     = flag.Int("sweep", 0, "run N random operations and report accuracy")
@@ -82,8 +103,15 @@ func main() {
 		emucheck  = flag.Bool("emucheck", false, "run the §2.1 emulation-detection probe (against both a real and an emulated machine)")
 		traceRun  = flag.Bool("trace", false, "with -gate: record one activation and print the two-plane event trace")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
+		obsCfg    obs.Config
 	)
+	obsCfg.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "uwm-gates: "+format+"\n", args...)
+		return 1
+	}
 
 	if *list {
 		names := make([]string, 0, len(gates))
@@ -94,7 +122,7 @@ func main() {
 		for _, n := range names {
 			fmt.Printf("%-12s %d input(s)\n", n, gates[n].arity)
 		}
-		return
+		return 0
 	}
 
 	cfg := noise.Quiet()
@@ -108,47 +136,57 @@ func main() {
 		cfg = noise.Noisy()
 	default:
 		fmt.Fprintf(os.Stderr, "uwm-gates: unknown noise profile %q\n", *noiseName)
-		os.Exit(2)
+		return 2
 	}
-	m, err := core.NewMachine(core.Options{Seed: *seed, Noise: cfg, TrainIterations: 4})
+
+	sess, err := obs.Start(obsCfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
-		os.Exit(1)
+		return fail("%v", err)
+	}
+	defer sess.Close()
+
+	m, err := core.NewMachine(core.Options{
+		Seed:            *seed,
+		Noise:           cfg,
+		TrainIterations: 4,
+		Metrics:         sess.Registry,
+		Sink:            sess.Sink,
+	})
+	if err != nil {
+		return fail("%v", err)
 	}
 
 	if *registers {
-		demoRegisters(m)
-		return
+		if err := demoRegisters(m); err != nil {
+			return fail("%v", err)
+		}
+		return 0
 	}
 
 	if *emucheck {
 		v, err := core.DetectEmulation(m, 32)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
-			os.Exit(1)
+			return fail("%v", err)
 		}
 		fmt.Println("this machine:   ", v)
 		emuCfg := cpu.DefaultConfig()
 		emuCfg.TSXWindow = 0 // an ISA-faithful emulator: no transient execution
 		emu, err := core.NewMachine(core.Options{Seed: *seed, CPU: &emuCfg})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
-			os.Exit(1)
+			return fail("%v", err)
 		}
 		v2, err := core.DetectEmulation(emu, 32)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
-			os.Exit(1)
+			return fail("%v", err)
 		}
 		fmt.Println("emulated model: ", v2)
-		return
+		return 0
 	}
 
 	if *expr != "" {
 		circ, vars, err := bexpr.Compile(m, *expr)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
-			os.Exit(1)
+			return fail("%v", err)
 		}
 		fmt.Printf("compiled %q over %v: %d chained transactions\n", *expr, vars, circ.Transactions())
 		e, _ := bexpr.Parse(*expr)
@@ -161,23 +199,40 @@ func main() {
 			}
 			out, err := circ.Run(in...)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
-				os.Exit(1)
+				return fail("%v", err)
 			}
 			fmt.Printf("  [%s] = %d  (expect %d)\n", bexpr.FormatAssignment(vars, in), out[0], e.Eval(env))
 		}
-		return
+		return 0
 	}
 
-	spec, ok := gates[*gateName]
+	requested := *gateName
+	if requested == "" {
+		requested = *opName
+	}
+	name, spec, ok := lookupGate(requested)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "uwm-gates: unknown gate %q (try -list)\n", *gateName)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "uwm-gates: unknown gate %q (try -list)\n", requested)
+		// A usage error has nothing to report: don't follow it with a
+		// metrics dump of machine-calibration noise.
+		sess.SetOutput(io.Discard)
+		return 2
 	}
 	g, err := spec.build(m)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
-		os.Exit(1)
+		return fail("%v", err)
+	}
+
+	// An observability run with no explicit action still needs gate
+	// activity to observe: default to the truth table.
+	runTruth := *truth
+	if !*disasm && !runTruth && *sweep == 0 && !*traceRun {
+		if obsCfg.Enabled() {
+			runTruth = true
+		} else {
+			fmt.Fprintln(os.Stderr, "uwm-gates: nothing to do; pass -truth, -disasm or -sweep")
+			return 2
+		}
 	}
 
 	if *disasm {
@@ -185,18 +240,24 @@ func main() {
 	}
 	if *traceRun {
 		rec := trace.NewRecorder(0)
-		m.CPU().SetRecorder(rec)
+		prev := m.CPU().Sink()
+		if prev != nil {
+			// Keep streaming to -trace-out while the recorder captures
+			// the activation for the printed two-plane view.
+			m.CPU().SetSink(trace.Tee(prev, rec))
+		} else {
+			m.CPU().SetSink(rec)
+		}
 		in := make([]int, spec.arity)
 		for j := range in {
 			in[j] = 1
 		}
 		out, err := g.Run(in...)
-		m.CPU().SetRecorder(nil)
+		m.CPU().SetSink(prev)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
-			os.Exit(1)
+			return fail("%v", err)
 		}
-		fmt.Printf("%s%v = %v\n", *gateName, in, out)
+		fmt.Printf("%s%v = %v\n", name, in, out)
 		arch, micro := 0, 0
 		for _, e := range rec.Events() {
 			plane := "μarch"
@@ -210,7 +271,7 @@ func main() {
 		}
 		fmt.Printf("\n%d architectural events (the debugger's view), %d microarchitectural (the computation)\n", arch, micro)
 	}
-	if *truth {
+	if runTruth {
 		fmt.Printf("threshold: %d cycles\n", m.Threshold())
 		for c := 0; c < 1<<spec.arity; c++ {
 			in := make([]int, spec.arity)
@@ -219,10 +280,9 @@ func main() {
 			}
 			out, err := g.Run(in...)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
-				os.Exit(1)
+				return fail("%v", err)
 			}
-			fmt.Printf("%s%v = %v  (expect %v)\n", *gateName, in, out, g.Golden(in))
+			fmt.Printf("%s%v = %v  (expect %v)\n", name, in, out, g.Golden(in))
 		}
 	}
 	if *sweep > 0 {
@@ -235,8 +295,7 @@ func main() {
 			}
 			out, err := g.Run(in...)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "uwm-gates: %v\n", err)
-				os.Exit(1)
+				return fail("%v", err)
 			}
 			want := g.Golden(in)
 			ok := true
@@ -250,16 +309,13 @@ func main() {
 			}
 		}
 		fmt.Printf("%s: %d/%d correct (%.5f) under %s noise\n",
-			*gateName, correct, *sweep, float64(correct)/float64(*sweep), *noiseName)
+			name, correct, *sweep, float64(correct)/float64(*sweep), *noiseName)
 	}
-	if !*disasm && !*truth && *sweep == 0 && !*traceRun {
-		fmt.Fprintln(os.Stderr, "uwm-gates: nothing to do; pass -truth, -disasm or -sweep")
-		os.Exit(2)
-	}
+	return 0
 }
 
 // demoRegisters writes and reads back every Table 1 weird register.
-func demoRegisters(m *core.Machine) {
+func demoRegisters(m *core.Machine) error {
 	type namedWR struct {
 		name  string
 		build func() (core.WeirdRegister, error)
@@ -275,19 +331,16 @@ func demoRegisters(m *core.Machine) {
 	for _, r := range regs {
 		wr, err := r.build()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "uwm-gates: %s: %v\n", r.name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", r.name, err)
 		}
 		okAll := true
 		for _, bit := range []int{0, 1, 1, 0} {
 			if err := wr.Write(bit); err != nil {
-				fmt.Fprintf(os.Stderr, "uwm-gates: %s write: %v\n", r.name, err)
-				os.Exit(1)
+				return fmt.Errorf("%s write: %w", r.name, err)
 			}
 			got, raw, err := wr.ReadRaw()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "uwm-gates: %s read: %v\n", r.name, err)
-				os.Exit(1)
+				return fmt.Errorf("%s read: %w", r.name, err)
 			}
 			if got != bit {
 				okAll = false
@@ -300,4 +353,5 @@ func demoRegisters(m *core.Machine) {
 			fmt.Printf("%-26s MISREAD\n\n", r.name)
 		}
 	}
+	return nil
 }

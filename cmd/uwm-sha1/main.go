@@ -8,6 +8,7 @@
 //
 //	echo -n "abc" | uwm-sha1
 //	uwm-sha1 -msg "hello world" -s 3 -k 2 -n 3 -stats
+//	uwm-sha1 -msg "abc" -metrics -trace-out sha1.jsonl
 package main
 
 import (
@@ -19,11 +20,18 @@ import (
 
 	"uwm/internal/core"
 	"uwm/internal/noise"
+	"uwm/internal/obs"
 	"uwm/internal/sha1wm"
 	"uwm/internal/skelly"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run returns main's exit code so the observability session closes
+// (metrics exposition, trace flush) on every path.
+func run() int {
 	var (
 		msg     = flag.String("msg", "", "message to hash (default: stdin)")
 		s       = flag.Int("s", 1, "timing samples per median (paper: 10)")
@@ -33,40 +41,49 @@ func main() {
 		noisy   = flag.Bool("noisy", false, "run under paper noise instead of a quiet machine")
 		stats   = flag.Bool("stats", false, "print gate counters and visibility statistics")
 		verbose = flag.Bool("v", false, "print progress and timing")
+		obsCfg  obs.Config
 	)
+	obsCfg.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "uwm-sha1: "+format+"\n", args...)
+		return 1
+	}
 
 	data := []byte(*msg)
 	if *msg == "" {
 		in, err := io.ReadAll(os.Stdin)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "uwm-sha1: reading stdin: %v\n", err)
-			os.Exit(1)
+			return fail("reading stdin: %v", err)
 		}
 		data = in
 	}
 
-	opts := core.Options{Seed: *seed, TrainIterations: 3}
+	sess, err := obs.Start(obsCfg)
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer sess.Close()
+
+	opts := core.Options{Seed: *seed, TrainIterations: 3, Metrics: sess.Registry, Sink: sess.Sink}
 	if *noisy {
 		opts.Noise = noise.PaperIsolated()
 	}
 	m, err := core.NewMachine(opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "uwm-sha1: %v\n", err)
-		os.Exit(1)
+		return fail("%v", err)
 	}
 	sk, err := skelly.New(m, skelly.Config{S: *s, K: *k, N: *n, Verify: true})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "uwm-sha1: %v\n", err)
-		os.Exit(1)
+		return fail("%v", err)
 	}
 	h := sha1wm.New(sk)
 
 	start := time.Now()
 	digest, err := h.Sum(data)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "uwm-sha1: %v\n", err)
-		os.Exit(1)
+		return fail("%v", err)
 	}
 	elapsed := time.Since(start)
 
@@ -74,8 +91,7 @@ func main() {
 
 	ref := sha1wm.Sum(data)
 	if digest != ref {
-		fmt.Fprintf(os.Stderr, "uwm-sha1: MISMATCH against reference %x — gate errors escaped redundancy; raise -s/-n\n", ref)
-		os.Exit(1)
+		return fail("MISMATCH against reference %x — gate errors escaped redundancy; raise -s/-n", ref)
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "verified against reference in %v (%d bytes, s=%d k=%d n=%d)\n",
@@ -91,4 +107,5 @@ func main() {
 				g, c.MedianCorrect, c.MedianOps, c.VoteCorrect, c.VoteOps)
 		}
 	}
+	return 0
 }

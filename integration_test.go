@@ -4,13 +4,20 @@
 package uwm_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"uwm/internal/analyzer"
 	"uwm/internal/bexpr"
 	"uwm/internal/core"
+	"uwm/internal/cpu"
+	"uwm/internal/metrics"
 	"uwm/internal/noise"
+	"uwm/internal/obs"
 	"uwm/internal/sha1wm"
 	"uwm/internal/skelly"
 	"uwm/internal/wmapt"
@@ -140,6 +147,92 @@ func TestAPTOnSharedMachine(t *testing.T) {
 	}
 	if !strings.Contains(string(env.Exfiltrated["c2:443"]), "root:") {
 		t.Error("exfiltration payload incomplete")
+	}
+}
+
+// TestObservabilityAcceptance encodes the PR's acceptance criterion:
+// the `uwm-gates -op and -metrics -trace-out and.json` flow must yield
+// (a) a Prometheus exposition with non-zero cache, branch, cpu and
+// gate series and (b) a Chrome trace_event JSON containing commit,
+// spec-window and cache-fill events.
+func TestObservabilityAcceptance(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "and.json")
+	sess, err := obs.Start(obs.Config{Metrics: true, TraceOut: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exposition bytes.Buffer
+	sess.SetOutput(&exposition)
+
+	m, err := core.NewMachine(core.Options{
+		Seed:            1,
+		TrainIterations: 4,
+		Metrics:         sess.Registry,
+		Sink:            sess.Sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.NewBPAnd(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 4; c++ {
+		if _, err := g.Run(c&1, c>>1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) non-zero metrics across every instrumented layer.
+	for _, name := range []string{
+		cpu.MetricCommitted,
+		cpu.MetricMispredicts,
+		"uwm_branch_predictions_total",
+		core.MetricThreshold,
+	} {
+		if v, ok := sess.Registry.Value(name); !ok || v <= 0 {
+			t.Errorf("metric %s = %v (ok=%v), want > 0", name, v, ok)
+		}
+	}
+	if v, ok := sess.Registry.Value("uwm_cache_misses_total", metrics.L("level", "L1D")); !ok || v <= 0 {
+		t.Errorf("L1D misses = %v (ok=%v), want > 0", v, ok)
+	}
+	if v, ok := sess.Registry.Value(core.MetricGateFires,
+		metrics.L("gate", "AND"), metrics.L("family", "bp")); !ok || v != 4 {
+		t.Errorf("gate fires = %v (ok=%v), want 4", v, ok)
+	}
+	if !strings.Contains(exposition.String(), "# TYPE uwm_cpu_committed_total counter") {
+		t.Error("exposition missing TYPE header for committed counter")
+	}
+
+	// (b) a loadable Chrome trace with the three event families.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid Chrome trace JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		seen[e.Name] = true
+		if e.Name == "spec-window" && e.Phase != "X" {
+			t.Errorf("spec-window emitted as %q, want complete event X", e.Phase)
+		}
+	}
+	for _, want := range []string{"commit", "spec-window", "cache-fill"} {
+		if !seen[want] {
+			t.Errorf("trace missing %q events (saw %v)", want, seen)
+		}
 	}
 }
 

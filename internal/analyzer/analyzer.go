@@ -31,10 +31,16 @@ type Analyzer struct {
 }
 
 // Attach wires an analyzer to a machine, enabling event recording.
-// The recorder keeps at most limit events (0 = unlimited).
+// The recorder keeps at most limit events (0 = unlimited). Any sink
+// already on the CPU (a streaming trace export, say) keeps receiving
+// events alongside the analyzer's recorder.
 func Attach(m *core.Machine, limit int) *Analyzer {
 	rec := trace.NewRecorder(limit)
-	m.CPU().SetRecorder(rec)
+	if prev := m.CPU().Sink(); prev != nil {
+		m.CPU().SetSink(trace.Tee(prev, rec))
+	} else {
+		m.CPU().SetSink(rec)
+	}
 	return &Analyzer{m: m, rec: rec}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"uwm/internal/cpu"
+	"uwm/internal/metrics"
 )
 
 // HPC-based μWM detection (paper §7): performance-monitoring hardware
@@ -72,22 +73,53 @@ func DefaultHPCThresholds() HPCThresholds {
 	}
 }
 
-// HPCDetector watches one CPU's counters.
+// HPCDetector scores counter rates sourced from a metrics registry —
+// the same registry a -metrics run exports, so the defender model and
+// the operator read one set of numbers.
 type HPCDetector struct {
-	cpu  *cpu.CPU
+	reg  *metrics.Registry
 	th   HPCThresholds
-	last cpu.Stats
+	last HPCSample // cumulative snapshot at the last window boundary
 }
 
-// NewHPCDetector attaches a detector to the machine's CPU.
+// NewHPCDetector attaches a detector to the machine's CPU by
+// registering the CPU's counters on a private registry. Use
+// NewHPCDetectorFromRegistry to share an existing one.
 func NewHPCDetector(c *cpu.CPU, th HPCThresholds) *HPCDetector {
-	return &HPCDetector{cpu: c, th: th, last: c.Stats()}
+	reg := metrics.NewRegistry()
+	c.RegisterMetrics(reg)
+	return NewHPCDetectorFromRegistry(reg, th)
+}
+
+// NewHPCDetectorFromRegistry attaches a detector to a registry that
+// already carries the cpu.Metric* series (e.g. the session registry of
+// an instrumented run).
+func NewHPCDetectorFromRegistry(reg *metrics.Registry, th HPCThresholds) *HPCDetector {
+	d := &HPCDetector{reg: reg, th: th}
+	d.last = d.cumulative()
+	return d
+}
+
+// cumulative reads the registry's current counter totals.
+func (d *HPCDetector) cumulative() HPCSample {
+	read := func(name string) uint64 {
+		v, _ := d.reg.Value(name)
+		return uint64(v)
+	}
+	return HPCSample{
+		Committed:      read(cpu.MetricCommitted),
+		Mispredicts:    read(cpu.MetricMispredicts),
+		SpecWindows:    read(cpu.MetricSpecWindows),
+		TxAborts:       read(cpu.MetricTxAborts),
+		TxCommits:      read(cpu.MetricTxCommits),
+		SpuriousAborts: read(cpu.MetricSpuriousAborts),
+	}
 }
 
 // Sample returns the counter deltas since the previous Sample (or
 // attach) and advances the window.
 func (d *HPCDetector) Sample() HPCSample {
-	now := d.cpu.Stats()
+	now := d.cumulative()
 	s := HPCSample{
 		Committed:      now.Committed - d.last.Committed,
 		Mispredicts:    now.Mispredicts - d.last.Mispredicts,

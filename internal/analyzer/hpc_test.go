@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"uwm/internal/core"
+	"uwm/internal/cpu"
 	"uwm/internal/isa"
+	"uwm/internal/metrics"
 )
 
 // benignProgram builds straight-line arithmetic with a well-predicted
@@ -117,6 +119,34 @@ func TestHPCDetectorDilution(t *testing.T) {
 	v := det.Judge()
 	if r := v.Sample.MispredictRate(); r > DefaultHPCThresholds().MaxMispredictRate {
 		t.Errorf("dilution failed to hide the mispredict rate: %.4f", r)
+	}
+}
+
+// TestHPCDetectorFromRegistry: a detector sharing the session's metrics
+// registry sees the same counters the -metrics exposition reports.
+func TestHPCDetectorFromRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := core.MustNewMachine(core.Options{Seed: 76, Metrics: reg})
+	g, err := core.NewTSXAnd(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewHPCDetectorFromRegistry(reg, DefaultHPCThresholds())
+	abortsBefore, _ := reg.Value(cpu.MetricTxAborts)
+	for i := 0; i < 40; i++ {
+		if _, err := g.Run(i&1, i>>1&1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := det.Judge()
+	if !v.Suspicious {
+		t.Errorf("TSX gate burst via shared registry not flagged: %s", v)
+	}
+	// The detector's window must agree with the exposition's counters.
+	abortsAfter, ok := reg.Value(cpu.MetricTxAborts)
+	if !ok || uint64(abortsAfter-abortsBefore) != v.Sample.TxAborts {
+		t.Errorf("registry abort delta %v (ok=%v), detector window saw %d",
+			abortsAfter-abortsBefore, ok, v.Sample.TxAborts)
 	}
 }
 

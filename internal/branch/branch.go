@@ -43,11 +43,26 @@ type DirectionPredictor interface {
 	Reset()
 }
 
+// Stats counts direction-predictor traffic: lookups and training
+// updates. Mispredict counts live in the CPU (which is the unit that
+// compares predictions to outcomes).
+type Stats struct {
+	Predictions uint64
+	TrainingOps uint64
+}
+
+// StatsReporter is implemented by predictors that count their traffic;
+// both built-in predictors do.
+type StatsReporter interface {
+	Stats() Stats
+}
+
 // Bimodal is a per-PC table of 2-bit counters indexed by hashed PC, the
 // classic direction predictor and the structure BranchScope-style weird
 // registers manipulate.
 type Bimodal struct {
 	table []Counter
+	stats Stats
 }
 
 // NewBimodal returns a Bimodal predictor with size entries (power of two
@@ -64,13 +79,20 @@ func (b *Bimodal) index(pc mem.Addr) int {
 }
 
 // Predict implements DirectionPredictor.
-func (b *Bimodal) Predict(pc mem.Addr) bool { return b.table[b.index(pc)].Predict() }
+func (b *Bimodal) Predict(pc mem.Addr) bool {
+	b.stats.Predictions++
+	return b.table[b.index(pc)].Predict()
+}
 
 // Update implements DirectionPredictor.
 func (b *Bimodal) Update(pc mem.Addr, taken bool) {
+	b.stats.TrainingOps++
 	i := b.index(pc)
 	b.table[i] = b.table[i].Update(taken)
 }
+
+// Stats returns lifetime traffic counters (not cleared by Reset).
+func (b *Bimodal) Stats() Stats { return b.stats }
 
 // Reset implements DirectionPredictor.
 func (b *Bimodal) Reset() {
@@ -92,6 +114,7 @@ type GShare struct {
 	table   []Counter
 	history uint64
 	bits    uint
+	stats   Stats
 }
 
 // NewGShare returns a GShare predictor with size entries and historyBits
@@ -109,10 +132,14 @@ func (g *GShare) index(pc mem.Addr) int {
 }
 
 // Predict implements DirectionPredictor.
-func (g *GShare) Predict(pc mem.Addr) bool { return g.table[g.index(pc)].Predict() }
+func (g *GShare) Predict(pc mem.Addr) bool {
+	g.stats.Predictions++
+	return g.table[g.index(pc)].Predict()
+}
 
 // Update implements DirectionPredictor.
 func (g *GShare) Update(pc mem.Addr, taken bool) {
+	g.stats.TrainingOps++
 	i := g.index(pc)
 	g.table[i] = g.table[i].Update(taken)
 	g.history <<= 1
@@ -120,6 +147,9 @@ func (g *GShare) Update(pc mem.Addr, taken bool) {
 		g.history |= 1
 	}
 }
+
+// Stats returns lifetime traffic counters (not cleared by Reset).
+func (g *GShare) Stats() Stats { return g.stats }
 
 // Reset implements DirectionPredictor.
 func (g *GShare) Reset() {
@@ -134,6 +164,14 @@ func (g *GShare) Reset() {
 // reading measures whether the prediction was correct.
 type BTB struct {
 	entries []btbEntry
+	stats   BTBStats
+}
+
+// BTBStats counts target-buffer traffic.
+type BTBStats struct {
+	Lookups uint64
+	Hits    uint64
+	Updates uint64
 }
 
 type btbEntry struct {
@@ -156,8 +194,10 @@ func (b *BTB) index(pc mem.Addr) int {
 
 // Lookup returns the predicted target for the branch at pc, if any.
 func (b *BTB) Lookup(pc mem.Addr) (mem.Addr, bool) {
+	b.stats.Lookups++
 	e := b.entries[b.index(pc)]
 	if e.valid && e.pc == pc {
+		b.stats.Hits++
 		return e.target, true
 	}
 	return 0, false
@@ -165,8 +205,12 @@ func (b *BTB) Lookup(pc mem.Addr) (mem.Addr, bool) {
 
 // Update records the resolved target of the branch at pc.
 func (b *BTB) Update(pc, target mem.Addr) {
+	b.stats.Updates++
 	b.entries[b.index(pc)] = btbEntry{valid: true, pc: pc, target: target}
 }
+
+// Stats returns lifetime traffic counters (not cleared by Reset).
+func (b *BTB) Stats() BTBStats { return b.stats }
 
 // Reset invalidates all entries.
 func (b *BTB) Reset() {

@@ -1,0 +1,42 @@
+package branch
+
+import "uwm/internal/metrics"
+
+// Metric series exported by the branch prediction unit.
+const (
+	MetricPredictions = "uwm_branch_predictions_total"
+	MetricTraining    = "uwm_branch_training_total"
+	MetricBTBLookups  = "uwm_btb_lookups_total"
+	MetricBTBHits     = "uwm_btb_hits_total"
+	MetricBTBUpdates  = "uwm_btb_updates_total"
+	MetricRSBDepth    = "uwm_rsb_depth"
+)
+
+// RegisterMetrics exposes BPU traffic counters on reg as lazily read
+// collector functions: the predictors keep counting plain uint64s on
+// the hot path and the registry reads them only at scrape time. Any of
+// dir, btb, rsb may be nil; a dir that does not implement StatsReporter
+// is skipped.
+func RegisterMetrics(reg *metrics.Registry, dir DirectionPredictor, btb *BTB, rsb *RSB) {
+	if reg == nil {
+		return
+	}
+	if sr, ok := dir.(StatsReporter); ok {
+		reg.CounterFunc(MetricPredictions, "direction-predictor lookups",
+			func() uint64 { return sr.Stats().Predictions })
+		reg.CounterFunc(MetricTraining, "direction-predictor training updates",
+			func() uint64 { return sr.Stats().TrainingOps })
+	}
+	if btb != nil {
+		reg.CounterFunc(MetricBTBLookups, "branch target buffer lookups",
+			func() uint64 { return btb.stats.Lookups })
+		reg.CounterFunc(MetricBTBHits, "branch target buffer hits",
+			func() uint64 { return btb.stats.Hits })
+		reg.CounterFunc(MetricBTBUpdates, "branch target buffer target updates",
+			func() uint64 { return btb.stats.Updates })
+	}
+	if rsb != nil {
+		reg.GaugeFunc(MetricRSBDepth, "live return stack entries",
+			func() float64 { return float64(rsb.Depth()) })
+	}
+}

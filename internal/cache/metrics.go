@@ -1,0 +1,37 @@
+package cache
+
+import "uwm/internal/metrics"
+
+// Metric series exported per cache level, distinguished by the "level"
+// label (L1D, L1I, L2).
+const (
+	MetricHits      = "uwm_cache_hits_total"
+	MetricMisses    = "uwm_cache_misses_total"
+	MetricEvictions = "uwm_cache_evictions_total"
+	MetricFlushes   = "uwm_cache_flushes_total"
+)
+
+// RegisterMetrics exposes this cache's access counters on reg, labelled
+// with the level name. The counters are read lazily at scrape time, so
+// the cache's hot lookup path is untouched.
+func (c *Cache) RegisterMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	lbl := metrics.L("level", c.cfg.Name)
+	reg.CounterFunc(MetricHits, "cache hits by level",
+		func() uint64 { return c.stats.Hits }, lbl)
+	reg.CounterFunc(MetricMisses, "cache misses by level",
+		func() uint64 { return c.stats.Misses }, lbl)
+	reg.CounterFunc(MetricEvictions, "cache evictions by level",
+		func() uint64 { return c.stats.Evictions }, lbl)
+	reg.CounterFunc(MetricFlushes, "cache line flushes by level",
+		func() uint64 { return c.stats.Flushes }, lbl)
+}
+
+// RegisterMetrics exposes every level's counters on reg.
+func (h *Hierarchy) RegisterMetrics(reg *metrics.Registry) {
+	h.l1d.RegisterMetrics(reg)
+	h.l1i.RegisterMetrics(reg)
+	h.l2.RegisterMetrics(reg)
+}

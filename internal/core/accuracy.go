@@ -65,6 +65,9 @@ func MeasureBPGate(g *BPGate, n int, rng *noise.RNG) (AccuracyReport, error) {
 		}
 	}
 	rep.Cycles = g.m.cpu.TSC() - start
+	ops, correct := g.m.accuracyInstruments(g.Name(), "bp")
+	ops.Add(uint64(rep.Operations))
+	correct.Add(uint64(rep.Correct))
 	return rep, nil
 }
 
@@ -98,6 +101,9 @@ func MeasureTSXGate(g *TSXGate, n int, rng *noise.RNG) (AccuracyReport, error) {
 	}
 	rep.Cycles = g.m.cpu.TSC() - start
 	rep.SpuriousAborts = int(g.m.cpu.Stats().SpuriousAborts - abortsBefore)
+	ops, correct := g.m.accuracyInstruments(g.Name(), "tsx")
+	ops.Add(uint64(rep.Operations))
+	correct.Add(uint64(rep.Correct))
 	return rep, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"uwm/internal/isa"
 	"uwm/internal/mem"
+	"uwm/internal/metrics"
 )
 
 // The branch-predictor / instruction-cache gate family (paper §3.2,
@@ -72,6 +73,9 @@ type BPGate struct {
 	truth     func(in []int) int
 	// Cached per-block entry labels, so activations allocate nothing.
 	trainT, trainNT, touch, flushB []string
+
+	fires   *metrics.Counter
+	readLat *metrics.Histogram
 }
 
 // Name returns the gate's name.
@@ -157,6 +161,8 @@ func (g *BPGate) RunTimed(in ...int) (int, int64, error) {
 		return 0, 0, err
 	}
 	delta := g.m.readDelta()
+	g.fires.Inc()
+	g.readLat.Observe(float64(delta))
 	return g.m.ToBit(delta), delta, nil
 }
 
@@ -304,6 +310,7 @@ func buildBPGate(m *Machine, name string, blocks []bpBlockSpec, prepCache bool, 
 		g.touch = append(g.touch, fmt.Sprintf("touch%d", i))
 		g.flushB = append(g.flushB, fmt.Sprintf("flushb%d", i))
 	}
+	g.fires, g.readLat = m.gateInstruments(name, "bp")
 	return g, nil
 }
 

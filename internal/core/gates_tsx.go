@@ -5,6 +5,7 @@ import (
 
 	"uwm/internal/isa"
 	"uwm/internal/mem"
+	"uwm/internal/metrics"
 )
 
 // The TSX gate family (paper §4, Figure 3). Each gate's fire section is
@@ -46,6 +47,9 @@ type TSXGate struct {
 	// setEntries[i][b] caches the input-setter label names so the
 	// per-activation path allocates no strings.
 	setEntries [][2]string
+
+	fires   *metrics.Counter
+	readLat *metrics.Histogram
 }
 
 // Name returns the gate's name.
@@ -96,6 +100,7 @@ func (g *TSXGate) Prep() error {
 // the cache currently holds. Use WriteInput/Prep first, or compose with
 // other gates' outputs.
 func (g *TSXGate) Fire() error {
+	g.fires.Inc()
 	for _, in := range g.ins {
 		g.m.perturbData(in)
 	}
@@ -122,6 +127,7 @@ func (g *TSXGate) ReadOutputs() ([]int, []int64, error) {
 		d := int64(g.m.cpu.Reg(hi) - g.m.cpu.Reg(lo))
 		deltas[i] = d
 		bits[i] = g.m.ToBit(d)
+		g.readLat.Observe(float64(d))
 	}
 	return bits, deltas, nil
 }
@@ -248,6 +254,7 @@ func (t *tsxBuild) finish(name string, arity, outputs int, truth func([]int) []i
 		prog: prog, ins: t.ins, outs: t.outs, truth: truth,
 		setEntries: set,
 	}
+	g.fires, g.readLat = t.m.gateInstruments(name, "tsx")
 	for _, entry := range []string{"prep", "fire", "read", "prep"} {
 		if _, err := t.m.run(prog, entry); err != nil {
 			return nil, fmt.Errorf("core: warming %s/%s: %w", name, entry, err)

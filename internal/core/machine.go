@@ -26,6 +26,7 @@ import (
 	"uwm/internal/cpu"
 	"uwm/internal/isa"
 	"uwm/internal/mem"
+	"uwm/internal/metrics"
 	"uwm/internal/noise"
 	"uwm/internal/stats"
 	"uwm/internal/trace"
@@ -75,6 +76,13 @@ type Options struct {
 	TrainIterations int
 	// Trace attaches an event recorder when non-nil.
 	Trace *trace.Recorder
+	// Sink attaches a streaming event sink when non-nil (a file
+	// exporter, for example). Trace and Sink may both be set; events
+	// fan out to both.
+	Sink trace.Sink
+	// Metrics attaches a metrics registry when non-nil: the machine
+	// registers its CPU, cache, branch and gate instruments on it.
+	Metrics *metrics.Registry
 }
 
 // Machine owns the simulated hardware plus the calibrated timing
@@ -87,6 +95,7 @@ type Machine struct {
 	layout    *mem.Layout
 	cpu       *cpu.CPU
 	ns        *noise.Source
+	reg       *metrics.Registry
 	codeNext  mem.Addr
 	evictNext mem.Addr
 	threshold int64
@@ -105,21 +114,32 @@ func NewMachine(opts Options) (*Machine, error) {
 	ns := noise.NewSource(opts.Seed, opts.Noise)
 	m := mem.New()
 	c := cpu.New(cfg, m, ns)
+	var sinks []trace.Sink
 	if opts.Trace != nil {
-		c.SetRecorder(opts.Trace)
+		sinks = append(sinks, opts.Trace)
 	}
+	if opts.Sink != nil {
+		sinks = append(sinks, opts.Sink)
+	}
+	if s := trace.Tee(sinks...); s != nil {
+		c.SetSink(s)
+	}
+	c.RegisterMetrics(opts.Metrics)
 	mach := &Machine{
 		opts:      opts,
 		mem:       m,
 		layout:    mem.NewLayout(defaultDataBase),
 		cpu:       c,
 		ns:        ns,
+		reg:       opts.Metrics,
 		codeNext:  defaultCodeBase,
 		evictNext: defaultDataBase + 16*evictStride,
 	}
 	if err := mach.calibrate(); err != nil {
 		return nil, fmt.Errorf("core: calibration failed: %w", err)
 	}
+	mach.reg.Gauge(MetricThreshold, "calibrated hit/miss timing boundary in cycles").
+		Set(float64(mach.threshold))
 	return mach, nil
 }
 

@@ -1,0 +1,38 @@
+package core
+
+import "uwm/internal/metrics"
+
+// Metric series exported by the weird-machine layer. Gate series carry
+// a "gate" label (AND, OR, …) and a "family" label (bp or tsx).
+const (
+	MetricThreshold   = "uwm_machine_threshold_cycles"
+	MetricGateFires   = "uwm_gate_fires_total"
+	MetricGateOps     = "uwm_gate_ops_total"
+	MetricGateCorrect = "uwm_gate_correct_total"
+	MetricGateRead    = "uwm_gate_read_cycles"
+)
+
+// Metrics returns the registry attached via Options.Metrics, possibly
+// nil. A nil registry hands out nil (disabled) instruments, so callers
+// need not guard.
+func (m *Machine) Metrics() *metrics.Registry { return m.reg }
+
+// gateInstruments returns the fire counter and read-latency histogram
+// for one gate. Both are nil (free) on an uninstrumented machine; two
+// gates of the same name share one series.
+func (m *Machine) gateInstruments(gate, family string) (*metrics.Counter, *metrics.Histogram) {
+	labels := []metrics.Label{metrics.L("gate", gate), metrics.L("family", family)}
+	fires := m.reg.Counter(MetricGateFires, "weird gate activations", labels...)
+	read := m.reg.Histogram(MetricGateRead, "timed output-read latency in cycles",
+		metrics.DefaultLatencyBuckets(), labels...)
+	return fires, read
+}
+
+// accuracyInstruments returns the measured-operations and correct
+// counters backing the accuracy reports.
+func (m *Machine) accuracyInstruments(gate, family string) (ops, correct *metrics.Counter) {
+	labels := []metrics.Label{metrics.L("gate", gate), metrics.L("family", family)}
+	ops = m.reg.Counter(MetricGateOps, "scored gate operations", labels...)
+	correct = m.reg.Counter(MetricGateCorrect, "scored gate operations matching the truth table", labels...)
+	return ops, correct
+}

@@ -9,6 +9,7 @@ import (
 	"uwm/internal/cache"
 	"uwm/internal/isa"
 	"uwm/internal/mem"
+	"uwm/internal/metrics"
 	"uwm/internal/noise"
 	"uwm/internal/trace"
 )
@@ -101,8 +102,12 @@ type CPU struct {
 	// transactional regions abort the moment they begin.
 	observed bool
 	ns       *noise.Source
-	rec      *trace.Recorder
+	sink     trace.Sink
 	stats    Stats
+	// histSpec, when attached, observes every speculative window's
+	// length in cycles — the distribution that decides whether gate
+	// bodies fit their windows.
+	histSpec *metrics.Histogram
 }
 
 // Stats accumulates lifetime counters across runs.
@@ -111,10 +116,12 @@ type Stats struct {
 	Mispredicts    uint64
 	SpecWindows    uint64
 	SpecInsts      uint64
+	TxBegins       uint64
 	TxCommits      uint64
 	TxAborts       uint64
 	SpuriousAborts uint64
 	ObservedAborts uint64
+	MSHRMerges     uint64
 }
 
 // New builds a CPU over the given memory with the given noise source.
@@ -185,8 +192,22 @@ func (c *CPU) SetReg(r isa.Reg, v uint64) {
 	c.ready[r] = c.clock
 }
 
-// SetRecorder attaches an event recorder (nil detaches).
-func (c *CPU) SetRecorder(rec *trace.Recorder) { c.rec = rec }
+// SetSink attaches an event sink (nil detaches). A Recorder, a file
+// sink, or a trace.Tee of several all work.
+func (c *CPU) SetSink(s trace.Sink) { c.sink = s }
+
+// Sink returns the attached sink, possibly nil.
+func (c *CPU) Sink() trace.Sink { return c.sink }
+
+// SetRecorder attaches an event recorder (nil detaches), a
+// compatibility wrapper over SetSink.
+func (c *CPU) SetRecorder(rec *trace.Recorder) {
+	if rec == nil {
+		c.sink = nil
+		return
+	}
+	c.sink = rec
+}
 
 // SetObserved attaches or detaches the modelled debugger: while true,
 // every transactional region aborts on entry.
@@ -195,14 +216,25 @@ func (c *CPU) SetObserved(on bool) { c.observed = on }
 // Observed reports whether a debugger is attached.
 func (c *CPU) Observed() bool { return c.observed }
 
-// Recorder returns the attached recorder, possibly nil.
-func (c *CPU) Recorder() *trace.Recorder { return c.rec }
+// Recorder returns the attached sink when it is a buffering Recorder,
+// nil otherwise (including when the recorder is wrapped in a Tee).
+func (c *CPU) Recorder() *trace.Recorder {
+	if r, ok := c.sink.(*trace.Recorder); ok {
+		return r
+	}
+	return nil
+}
 
-// record emits an event when a recorder is attached. Architectural
+// tracing reports whether an attached sink would observe an emitted
+// event; emit sites use it to skip expensive event assembly
+// (disassembly, formatting).
+func (c *CPU) tracing() bool { return trace.Enabled(c.sink) }
+
+// record emits an event when a live sink is attached. Architectural
 // events produced inside an open transaction are buffered and only
-// reach the recorder if the transaction commits.
+// reach the sink if the transaction commits.
 func (c *CPU) record(k trace.Kind, pc, addr mem.Addr, val uint64, text string) {
-	if c.rec == nil || !c.rec.Enabled() {
+	if !c.tracing() {
 		return
 	}
 	e := trace.Event{Kind: k, Cycle: c.clock, PC: uint64(pc), Addr: uint64(addr), Value: val, Text: text}
@@ -210,7 +242,7 @@ func (c *CPU) record(k trace.Kind, pc, addr mem.Addr, val uint64, text string) {
 		c.txn.events = append(c.txn.events, e)
 		return
 	}
-	c.rec.Record(e)
+	c.sink.Emit(e)
 }
 
 // Run executes prog from the given entry label until HALT, returning
@@ -239,7 +271,7 @@ func (c *CPU) Run(prog *isa.Program, entry string) (Result, error) {
 			if c.txn != nil {
 				return res, errors.New("cpu: halt inside open transaction")
 			}
-			if c.rec.Enabled() {
+			if c.tracing() {
 				c.record(trace.KindCommit, inst.Addr, 0, 0, inst.String())
 			}
 			res.Steps++
@@ -252,7 +284,7 @@ func (c *CPU) Run(prog *isa.Program, entry string) (Result, error) {
 		// faults and aborts a transaction, the buffered event dies
 		// with the region, exactly like the retirement that never
 		// happened. (Guarded: disassembly is expensive.)
-		if c.rec.Enabled() {
+		if c.tracing() {
 			c.record(trace.KindCommit, inst.Addr, 0, 0, inst.String())
 		}
 		next, err := c.step(prog, idx, inst, &res)
@@ -366,7 +398,7 @@ func (c *CPU) step(prog *isa.Program, idx int, inst *isa.Inst, res *Result) (int
 		addr := prog.Code[inst.TargetIdx].Addr.Line()
 		c.hier.FlushInst(addr)
 		delete(c.inflight, addr.Line())
-		if c.rec.Enabled() {
+		if c.tracing() {
 			c.record(trace.KindCacheFlush, inst.Addr, addr, 0, "clflush.i "+inst.Target)
 		}
 		c.clock += cfg.FlushLatency
@@ -438,9 +470,9 @@ func (c *CPU) step(prog *isa.Program, idx int, inst *isa.Inst, res *Result) (int
 		}
 		committed := c.txn.events
 		c.txn = nil
-		if c.rec.Enabled() {
+		if c.tracing() {
 			for _, e := range committed {
-				c.rec.Record(e)
+				c.sink.Emit(e)
 			}
 		}
 		c.stats.TxCommits++
@@ -522,8 +554,9 @@ func (c *CPU) xbegin(prog *isa.Program, idx int, inst *isa.Inst, res *Result) (i
 		return 0, errors.New("cpu: nested transactions are not supported")
 	}
 	c.txn = &transaction{regs: c.regs, ready: c.ready, abortIdx: inst.TargetIdx}
+	c.stats.TxBegins++
 	c.clock += c.cfg.XBeginLatency
-	if c.rec.Enabled() {
+	if c.tracing() {
 		c.record(trace.KindTxBegin, inst.Addr, 0, 0, "xbegin "+inst.Target)
 	}
 	if c.observed {
@@ -623,6 +656,7 @@ func (c *CPU) memAccess(addr mem.Addr, issue int64) int64 {
 			// arrives, not at L1 latency. This is what keeps the TSX
 			// AND chain honest when another chain already requested an
 			// operand (Figure 3's ordering).
+			c.stats.MSHRMerges++
 			return done - issue
 		}
 		// Entry drained — or the line was evicted after the original
@@ -643,7 +677,7 @@ func (c *CPU) writeReg(r isa.Reg, v uint64, readyAt int64) {
 	c.regs[r] = v
 	c.ready[r] = readyAt
 	c.trackChain(r)
-	if c.rec.Enabled() {
+	if c.tracing() {
 		c.record(trace.KindRegWrite, 0, 0, v, r.String())
 	}
 }

@@ -34,6 +34,7 @@ import (
 func (c *CPU) speculate(prog *isa.Program, idx int, start, deadline int64, res *Result) {
 	res.SpecWindows++
 	c.stats.SpecWindows++
+	c.histSpec.Observe(float64(deadline - start))
 	c.record(trace.KindSpecStart, 0, 0, uint64(deadline-start), "window open")
 
 	var specRegs [isa.NumRegs]uint64 = c.regs
@@ -61,7 +62,7 @@ loop:
 		if sfc > deadline {
 			break // fetch starved: body was not in the instruction cache
 		}
-		if c.rec.Enabled() {
+		if c.tracing() {
 			c.record(trace.KindSpecExec, inst.Addr, 0, 0, inst.String())
 		}
 		res.SpecInsts++
@@ -253,7 +254,7 @@ loop:
 // MSHR merging like committed accesses.
 func (c *CPU) specAccess(addr mem.Addr, issue int64) int64 {
 	lat := c.memAccess(addr, issue)
-	if c.rec.Enabled() {
+	if c.tracing() {
 		c.record(trace.KindCacheFill, 0, addr, uint64(lat), "transient fill")
 	}
 	return lat

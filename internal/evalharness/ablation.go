@@ -101,7 +101,7 @@ func Ablations(p Params) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := core.NewMachine(opts)
+		m, err := core.NewMachine(p.observe(opts))
 		if err != nil {
 			return nil, err
 		}

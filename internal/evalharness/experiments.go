@@ -33,11 +33,11 @@ var paperTable2 = map[string]struct {
 // paper's headline shape.
 func Table2(p Params) (*Table, error) {
 	p.normalize()
-	m, err := core.NewMachine(core.Options{
+	m, err := core.NewMachine(p.observe(core.Options{
 		Seed:            p.Seed,
 		Noise:           noise.PaperIsolated(),
 		TrainIterations: p.TrainIterations,
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -153,11 +153,11 @@ func Figure6(counts []int64) string {
 // per-gate correctness after median and after vote.
 func Table4(p Params) (*Table, error) {
 	p.normalize()
-	m, err := core.NewMachine(core.Options{
+	m, err := core.NewMachine(p.observe(core.Options{
 		Seed:            p.Seed,
 		Noise:           noise.PaperIsolated(),
 		TrainIterations: 3,
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -211,11 +211,11 @@ func ratio(a, b uint64) float64 {
 // isolated-core setup.
 func Table5(p Params) (*Table, error) {
 	p.normalize()
-	m, err := core.NewMachine(core.Options{
+	m, err := core.NewMachine(p.observe(core.Options{
 		Seed:            p.Seed,
 		Noise:           noise.PaperIsolated(),
 		TrainIterations: 4,
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -262,7 +262,7 @@ func delayTable(title string, labels []string, samplesPerRow [][]float64, paperN
 // eight rows, one per (gate output, input combination) pair.
 func Table6(p Params) (*Table, error) {
 	p.normalize()
-	m, err := core.NewMachine(core.Options{Seed: p.Seed, Noise: noise.Paper()})
+	m, err := core.NewMachine(p.observe(core.Options{Seed: p.Seed, Noise: noise.Paper()}))
 	if err != nil {
 		return nil, err
 	}
@@ -294,7 +294,7 @@ func Table6(p Params) (*Table, error) {
 // Table7 reproduces the TSX-XOR measurement delay distributions.
 func Table7(p Params) (*Table, error) {
 	p.normalize()
-	m, err := core.NewMachine(core.Options{Seed: p.Seed, Noise: noise.Paper()})
+	m, err := core.NewMachine(p.observe(core.Options{Seed: p.Seed, Noise: noise.Paper()}))
 	if err != nil {
 		return nil, err
 	}
@@ -334,7 +334,7 @@ func readAborted(deltas []int64) bool {
 // (unrecovered) aborts separately.
 func Table8(p Params) (*Table, error) {
 	p.normalize()
-	m, err := core.NewMachine(core.Options{Seed: p.Seed, Noise: noise.Paper()})
+	m, err := core.NewMachine(p.observe(core.Options{Seed: p.Seed, Noise: noise.Paper()}))
 	if err != nil {
 		return nil, err
 	}
@@ -369,11 +369,11 @@ func table8On(m *core.Machine, p Params, title string) (*Table, error) {
 // Figures 7 (AND) and 8 (OR): one curve per expected logic level.
 func FigureKDE(p Params, gate string) (string, []stats.Point, []stats.Point, error) {
 	p.normalize()
-	m, err := core.NewMachine(core.Options{
+	m, err := core.NewMachine(p.observe(core.Options{
 		Seed:            p.Seed,
 		Noise:           noise.PaperIsolated(),
 		TrainIterations: 4,
-	})
+	}))
 	if err != nil {
 		return "", nil, nil, err
 	}

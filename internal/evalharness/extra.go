@@ -16,11 +16,11 @@ import (
 // error rate, and the cycle cost of one bit.
 func ExtraChannels(p Params) (*Table, error) {
 	p.normalize()
-	m, err := core.NewMachine(core.Options{
+	m, err := core.NewMachine(p.observe(core.Options{
 		Seed:            p.Seed,
 		Noise:           noise.PaperIsolated(),
 		TrainIterations: 4,
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}

@@ -19,6 +19,10 @@ package evalharness
 import (
 	"fmt"
 	"strings"
+
+	"uwm/internal/core"
+	"uwm/internal/metrics"
+	"uwm/internal/trace"
 )
 
 // Table is a rendered experiment result.
@@ -96,6 +100,19 @@ type Params struct {
 	TrainIterations int
 	// ClockHz converts simulated cycles to seconds (paper: 2.3 GHz).
 	ClockHz float64
+	// Metrics and Sink, when non-nil, attach to every machine an
+	// experiment builds — uwm-bench's observability surface. Counters
+	// accumulate across all experiments of the run.
+	Metrics *metrics.Registry
+	Sink    trace.Sink
+}
+
+// observe attaches the harness's observability surfaces to a machine's
+// options.
+func (p Params) observe(o core.Options) core.Options {
+	o.Metrics = p.Metrics
+	o.Sink = p.Sink
+	return o
 }
 
 // Quick returns parameters sized for CI and `go test -bench`.

@@ -1,0 +1,172 @@
+// Package obs wires the observability surface shared by every uwm
+// binary: a -metrics flag that prints the session's metric registry in
+// Prometheus text exposition at exit, a -trace-out flag that streams
+// the two-plane event trace to a JSONL or Chrome trace_event file, and
+// a -pprof flag that serves net/http/pprof, expvar and a live /metrics
+// endpoint while the run is in flight.
+//
+// The intended shape in a main:
+//
+//	var cfg obs.Config
+//	cfg.AddFlags(flag.CommandLine)
+//	flag.Parse()
+//	sess, err := obs.Start(cfg)
+//	// pass sess.Registry and sess.Sink into core.Options
+//	defer sess.Close()
+//
+// Close flushes and closes the trace file and, when -metrics was set,
+// writes the exposition to stdout. A zero Config yields a session whose
+// Registry and Sink are nil, which every instrumented layer treats as
+// "observability off" at zero cost.
+package obs
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	"uwm/internal/metrics"
+	"uwm/internal/trace"
+)
+
+// Config selects which observability surfaces a run exposes.
+type Config struct {
+	// Metrics prints the Prometheus text exposition to stdout at Close.
+	Metrics bool
+	// TraceOut streams trace events to this file; a .jsonl/.ndjson
+	// suffix selects line-delimited JSON, anything else the Chrome
+	// trace_event format Perfetto loads.
+	TraceOut string
+	// PprofAddr serves /debug/pprof, /debug/vars and /metrics on this
+	// address for the lifetime of the run. Live /metrics scrapes read
+	// the single-threaded simulator's counters without stopping it, so
+	// mid-run values are monotonic approximations; the exit exposition
+	// (-metrics) is exact.
+	PprofAddr string
+}
+
+// AddFlags registers the shared observability flags on fs.
+func (c *Config) AddFlags(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Metrics, "metrics", false, "print Prometheus text metrics to stdout at exit")
+	fs.StringVar(&c.TraceOut, "trace-out", "", "stream the event trace to this file (.jsonl = JSON lines, else Chrome trace_event JSON for Perfetto)")
+	fs.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. localhost:6060)")
+}
+
+// Enabled reports whether any observability surface was requested.
+func (c Config) Enabled() bool {
+	return c.Metrics || c.TraceOut != "" || c.PprofAddr != ""
+}
+
+// Session is a started observability context. Registry and Sink are
+// nil when the corresponding surface is off — pass them to
+// core.Options (or cpu setters) unconditionally.
+type Session struct {
+	Registry *metrics.Registry
+	Sink     trace.Sink
+
+	cfg     Config
+	out     io.Writer // exposition destination, stdout by default
+	traceCl io.Closer
+	srv     *http.Server
+	ln      net.Listener
+	traceN  func() int
+	closed  bool
+}
+
+// Start opens the requested surfaces: the registry (for -metrics and
+// -pprof), the trace file sink, and the debug HTTP listener.
+func Start(cfg Config) (*Session, error) {
+	s := &Session{cfg: cfg, out: os.Stdout}
+	if cfg.Metrics || cfg.PprofAddr != "" {
+		s.Registry = metrics.NewRegistry()
+	}
+	if cfg.TraceOut != "" {
+		sink, closer, err := trace.FileSink(cfg.TraceOut)
+		if err != nil {
+			return nil, fmt.Errorf("obs: %w", err)
+		}
+		s.Sink = sink
+		s.traceCl = closer
+		if c, ok := sink.(interface{ Count() int }); ok {
+			s.traceN = c.Count
+		}
+	}
+	if cfg.PprofAddr != "" {
+		if err := s.serve(cfg.PprofAddr); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// serve starts the debug HTTP endpoint. Listening synchronously makes
+// a bad address an immediate error instead of a background log line.
+func (s *Session) serve(addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.Registry.WriteText(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: pprof listener: %w", err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	fmt.Fprintf(os.Stderr, "obs: serving pprof/expvar/metrics on http://%s/\n", ln.Addr())
+	return nil
+}
+
+// SetOutput redirects the -metrics exposition away from stdout.
+func (s *Session) SetOutput(w io.Writer) { s.out = w }
+
+// Addr returns the debug HTTP address, or "" when -pprof is off.
+func (s *Session) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close flushes the trace file, stops the debug server and, when
+// -metrics was requested, writes the text exposition. Safe to call
+// more than once; only the first call does work.
+func (s *Session) Close() error {
+	if s == nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	if s.traceCl != nil {
+		if err := s.traceCl.Close(); err != nil && first == nil {
+			first = err
+		}
+		if s.traceN != nil {
+			fmt.Fprintf(os.Stderr, "obs: wrote %d trace events to %s\n", s.traceN(), s.cfg.TraceOut)
+		}
+	}
+	if s.srv != nil {
+		if err := s.srv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.cfg.Metrics && s.Registry != nil {
+		if err := s.Registry.WriteText(s.out); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"uwm/internal/trace"
+)
+
+func TestDisabledSession(t *testing.T) {
+	sess, err := Start(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Registry != nil || sess.Sink != nil {
+		t.Errorf("zero config opened surfaces: %+v", sess)
+	}
+	if err := sess.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if cfg := (Config{}); cfg.Enabled() {
+		t.Error("zero config reports Enabled")
+	}
+}
+
+func TestMetricsAndTraceSession(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	sess, err := Start(Config{Metrics: true, TraceOut: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sess.SetOutput(&buf)
+
+	sess.Registry.Counter("uwm_obs_test_total", "test counter").Add(3)
+	sess.Sink.Emit(trace.Event{Cycle: 5, Kind: trace.KindCommit, Text: "nop"})
+
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "uwm_obs_test_total 3") {
+		t.Errorf("exposition missing counter:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(data), &obj); err != nil {
+		t.Fatalf("trace line not JSON: %v\n%s", err, data)
+	}
+	if obj["kind"] != "commit" {
+		t.Errorf("unexpected trace line: %v", obj)
+	}
+}
+
+func TestPprofServesMetrics(t *testing.T) {
+	sess, err := Start(Config{PprofAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	sess.Registry.Gauge("uwm_obs_live", "live gauge").Set(7)
+
+	resp, err := http.Get("http://" + sess.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "uwm_obs_live 7") {
+		t.Errorf("/metrics missing gauge:\n%s", body)
+	}
+
+	resp, err = http.Get("http://" + sess.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/vars status %d", resp.StatusCode)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"uwm/internal/core"
+	"uwm/internal/metrics"
 )
 
 // Config selects the redundancy and instrumentation parameters.
@@ -122,7 +123,39 @@ func New(m *core.Machine, cfg Config) (*Skelly, error) {
 	for _, g := range []string{"AND", "OR", "NAND", "AND_AND_OR"} {
 		s.counters[g] = &Counters{}
 	}
+	s.registerMetrics(m.Metrics())
 	return s, nil
+}
+
+// Metric series exported by the gate library, all lazily collected
+// from the Table 4 counters at scrape time.
+const (
+	MetricMedianOps       = "uwm_skelly_median_ops_total"
+	MetricMedianCorrect   = "uwm_skelly_median_correct_total"
+	MetricVoteOps         = "uwm_skelly_vote_ops_total"
+	MetricVoteCorrect     = "uwm_skelly_vote_correct_total"
+	MetricLogicalOps      = "uwm_skelly_logical_ops_total"
+	MetricVisibleResults  = "uwm_skelly_visible_results_total"
+	MetricVisibleFraction = "uwm_skelly_visible_fraction"
+)
+
+// registerMetrics exposes the Table 4 counters and the §5.2 visibility
+// accounting on the machine's registry (a no-op when none is attached).
+func (s *Skelly) registerMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	for name, ctr := range s.counters {
+		ctr := ctr
+		lbl := metrics.L("gate", name)
+		reg.CounterFunc(MetricMedianOps, "s-sample median decisions", func() uint64 { return ctr.MedianOps }, lbl)
+		reg.CounterFunc(MetricMedianCorrect, "median decisions matching the truth table", func() uint64 { return ctr.MedianCorrect }, lbl)
+		reg.CounterFunc(MetricVoteOps, "k-of-n vote decisions", func() uint64 { return ctr.VoteOps }, lbl)
+		reg.CounterFunc(MetricVoteCorrect, "vote decisions matching the truth table", func() uint64 { return ctr.VoteCorrect }, lbl)
+	}
+	reg.CounterFunc(MetricLogicalOps, "logical gate operations performed", func() uint64 { return s.totalOps })
+	reg.CounterFunc(MetricVisibleResults, "gate results stored architecturally visibly", func() uint64 { return s.visible })
+	reg.GaugeFunc(MetricVisibleFraction, "share of gate results crossing visible memory", s.VisibleFraction)
 }
 
 // Machine returns the underlying weird machine.

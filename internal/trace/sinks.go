@@ -1,0 +1,263 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// jsonEvent is the JSONL wire form of one Event.
+type jsonEvent struct {
+	Kind  string `json:"kind"`
+	Plane string `json:"plane"`
+	Cycle int64  `json:"cycle"`
+	PC    uint64 `json:"pc,omitempty"`
+	Addr  uint64 `json:"addr,omitempty"`
+	Value uint64 `json:"value,omitempty"`
+	Text  string `json:"text,omitempty"`
+}
+
+func plane(k Kind) string {
+	if k.Architectural() {
+		return "arch"
+	}
+	return "uarch"
+}
+
+// JSONLSink streams every event as one JSON object per line — the
+// machine-readable export for offline analysis (jq, pandas). Events
+// are buffered; Close flushes. The sink is not safe for concurrent
+// Emit calls, matching the single-threaded simulator.
+type JSONLSink struct {
+	w      *bufio.Writer
+	closer io.Closer
+	enc    *json.Encoder
+	n      int
+	err    error
+}
+
+// NewJSONLSink wraps w in a streaming JSONL sink. When w is also an
+// io.Closer, Close closes it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	s := &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		s.closer = c
+	}
+	return s
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(e Event) {
+	if s.err != nil {
+		return
+	}
+	s.n++
+	s.err = s.enc.Encode(jsonEvent{
+		Kind:  e.Kind.String(),
+		Plane: plane(e.Kind),
+		Cycle: e.Cycle,
+		PC:    e.PC,
+		Addr:  e.Addr,
+		Value: e.Value,
+		Text:  e.Text,
+	})
+}
+
+// Count returns how many events were emitted.
+func (s *JSONLSink) Count() int { return s.n }
+
+// Close flushes buffered lines and closes the underlying writer when
+// it is closable, returning the first error encountered.
+func (s *JSONLSink) Close() error {
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if s.closer != nil {
+		if err := s.closer.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
+}
+
+// ChromeSink streams events in the Chrome trace_event JSON format, so
+// a full μWM run — training loops, speculative windows, TSX regions,
+// cache fills — opens directly in chrome://tracing or Perfetto
+// (ui.perfetto.dev). Simulated cycles are mapped 1:1 onto trace
+// microseconds.
+//
+// Span mapping:
+//   - a speculative window becomes a complete ("X") slice at its start
+//     cycle whose duration is the window length carried in the
+//     spec-start event;
+//   - a TSX region becomes a complete slice from tx-begin to
+//     tx-end/tx-abort, with the outcome in args;
+//   - every other event becomes a thread-scoped instant ("i") with the
+//     event payload in args, categorised by plane ("arch"/"uarch") so
+//     the two planes can be toggled independently.
+type ChromeSink struct {
+	w      *bufio.Writer
+	closer io.Closer
+	first  bool
+	err    error
+	n      int
+
+	txOpen  bool
+	txBegin int64
+	txPC    uint64
+}
+
+// NewChromeSink wraps w in a trace_event sink and writes the stream
+// preamble. When w is also an io.Closer, Close closes it.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	s := &ChromeSink{w: bw, first: true}
+	if c, ok := w.(io.Closer); ok {
+		s.closer = c
+	}
+	_, s.err = bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	s.emitRaw(map[string]any{
+		"name": "process_name", "ph": "M", "pid": 1, "tid": 1,
+		"args": map[string]any{"name": "uwm simulator"},
+	})
+	s.emitRaw(map[string]any{
+		"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+		"args": map[string]any{"name": "virtual core (cycles as µs)"},
+	})
+	return s
+}
+
+// emitRaw writes one trace_event object.
+func (s *ChromeSink) emitRaw(obj map[string]any) {
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(obj)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if !s.first {
+		if _, s.err = s.w.WriteString(",\n"); s.err != nil {
+			return
+		}
+	}
+	s.first = false
+	_, s.err = s.w.Write(b)
+	s.n++
+}
+
+// args builds the common payload map.
+func eventArgs(e Event) map[string]any {
+	a := map[string]any{}
+	if e.PC != 0 {
+		a["pc"] = fmt.Sprintf("%#x", e.PC)
+	}
+	if e.Addr != 0 {
+		a["addr"] = fmt.Sprintf("%#x", e.Addr)
+	}
+	if e.Value != 0 {
+		a["value"] = e.Value
+	}
+	if e.Text != "" {
+		a["text"] = e.Text
+	}
+	return a
+}
+
+// Emit implements Sink.
+func (s *ChromeSink) Emit(e Event) {
+	switch e.Kind {
+	case KindSpecStart:
+		// Value carries the window length in cycles; a zero-length
+		// window still gets a visible sliver.
+		dur := e.Value
+		if dur == 0 {
+			dur = 1
+		}
+		s.emitRaw(map[string]any{
+			"name": "spec-window", "cat": "uarch", "ph": "X",
+			"ts": e.Cycle, "dur": dur, "pid": 1, "tid": 1,
+			"args": eventArgs(e),
+		})
+	case KindTxBegin:
+		s.txOpen = true
+		s.txBegin = e.Cycle
+		s.txPC = e.PC
+	case KindTxEnd, KindTxAbort:
+		outcome := "commit"
+		if e.Kind == KindTxAbort {
+			outcome = "abort"
+		}
+		begin := e.Cycle - 1
+		if s.txOpen {
+			begin = s.txBegin
+		}
+		dur := e.Cycle - begin
+		if dur <= 0 {
+			dur = 1
+		}
+		args := eventArgs(e)
+		args["outcome"] = outcome
+		if s.txPC != 0 {
+			args["xbegin_pc"] = fmt.Sprintf("%#x", s.txPC)
+		}
+		s.emitRaw(map[string]any{
+			"name": "tsx-region", "cat": "arch", "ph": "X",
+			"ts": begin, "dur": dur, "pid": 1, "tid": 1,
+			"args": args,
+		})
+		s.txOpen = false
+		s.txPC = 0
+	default:
+		s.emitRaw(map[string]any{
+			"name": e.Kind.String(), "cat": plane(e.Kind), "ph": "i",
+			"ts": e.Cycle, "pid": 1, "tid": 1, "s": "t",
+			"args": eventArgs(e),
+		})
+	}
+}
+
+// Count returns how many trace_event records were written.
+func (s *ChromeSink) Count() int { return s.n }
+
+// Close terminates the JSON document, flushes, and closes the
+// underlying writer when it is closable.
+func (s *ChromeSink) Close() error {
+	if s.err == nil {
+		_, s.err = s.w.WriteString("]}\n")
+	}
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if s.closer != nil {
+		if err := s.closer.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
+}
+
+// FileSink opens path and returns a streaming sink selected by
+// extension: ".jsonl" (or ".ndjson") for line-delimited JSON, anything
+// else — conventionally ".json" — for the Chrome trace_event format.
+// The returned closer flushes and closes the file.
+func FileSink(path string) (Sink, io.Closer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".jsonl", ".ndjson":
+		s := NewJSONLSink(f)
+		return s, s, nil
+	default:
+		s := NewChromeSink(f)
+		return s, s, nil
+	}
+}

@@ -7,6 +7,12 @@
 // The split is the point of the paper: package analyzer builds the
 // defender's view exclusively from architectural events, and the
 // obfuscation tests prove that the weird computation never appears there.
+//
+// Events flow through the Sink interface: the buffering Recorder is one
+// implementation; JSONLSink and ChromeSink stream events to files (the
+// latter in the Chrome trace_event format that chrome://tracing and
+// Perfetto open directly); Tee fans one event stream out to several
+// sinks.
 package trace
 
 import "fmt"
@@ -33,7 +39,23 @@ const (
 	KindCacheFlush             // μarch: line flushed
 	KindTimedRead              // μarch: measured latency value
 	KindNoise                  // μarch: injected noise event
+
+	kindEnd // sentinel; keep last
 )
+
+// AllKinds returns every declared event kind in declaration order. The
+// kind tests iterate this to force plane/name updates when a kind is
+// added, and the file sinks use it to emit category metadata.
+func AllKinds() []Kind {
+	out := make([]Kind, 0, int(kindEnd)-1)
+	for k := Kind(0); k < kindEnd; k++ {
+		if k == microBoundary {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
 
 // Architectural reports whether events of this kind are visible on the
 // architectural plane (i.e. to a debugger with full register/memory
@@ -92,18 +114,85 @@ func (e Event) String() string {
 		e.Cycle, e.Kind, e.PC, e.Addr, e.Value, e.Text)
 }
 
-// Recorder collects events. The zero value is a disabled recorder; a
-// disabled recorder drops events with near-zero cost so that hot
-// benchmark loops are unaffected.
+// Sink consumes the simulator's event stream. Implementations:
+// Recorder (bounded in-memory ring), JSONLSink and ChromeSink
+// (streaming file export), Tee (fan-out). A sink may optionally
+// implement Enabled() bool to advertise that it is currently dropping
+// everything; emitters use Enabled to skip expensive event assembly
+// (disassembly, formatting).
+type Sink interface {
+	Emit(e Event)
+}
+
+// Enabled reports whether events emitted to s can currently be
+// observed: false for a nil Sink, the sink's own answer when it
+// implements Enabled() bool (e.g. a toggled-off Recorder), and true
+// otherwise.
+func Enabled(s Sink) bool {
+	if s == nil {
+		return false
+	}
+	if e, ok := s.(interface{ Enabled() bool }); ok {
+		return e.Enabled()
+	}
+	return true
+}
+
+// Tee returns a Sink forwarding every event to each non-nil sink. It
+// returns nil when no live sink remains and the sink itself when only
+// one does, so emitters keep their cheap single-sink path.
+func Tee(sinks ...Sink) Sink {
+	live := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return multiSink(live)
+	}
+}
+
+type multiSink []Sink
+
+// Emit implements Sink.
+func (m multiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// Enabled reports whether any fanned-out sink is live.
+func (m multiSink) Enabled() bool {
+	for _, s := range m {
+		if Enabled(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Recorder collects events in a bounded ring buffer. When the limit is
+// hit the *oldest* events are overwritten so the buffer always holds
+// the newest tail of the run — the interesting part when a gate
+// misfires at the end of a long sweep. The zero value is a disabled
+// recorder; a disabled recorder drops events with near-zero cost so
+// that hot benchmark loops are unaffected.
 type Recorder struct {
 	enabled bool
 	limit   int
 	events  []Event
+	start   int // ring: index of the oldest stored event
 	dropped int
 }
 
-// NewRecorder returns an enabled recorder keeping at most limit events
-// (0 means unlimited).
+// NewRecorder returns an enabled recorder keeping the newest limit
+// events (0 means unlimited).
 func NewRecorder(limit int) *Recorder {
 	return &Recorder{enabled: true, limit: limit}
 }
@@ -114,27 +203,42 @@ func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
 // SetEnabled toggles recording.
 func (r *Recorder) SetEnabled(on bool) { r.enabled = on }
 
-// Record stores an event if recording is enabled.
+// Record stores an event if recording is enabled, overwriting the
+// oldest stored event once the limit is reached.
 func (r *Recorder) Record(e Event) {
 	if r == nil || !r.enabled {
 		return
 	}
 	if r.limit > 0 && len(r.events) >= r.limit {
+		r.events[r.start] = e
+		r.start++
+		if r.start == len(r.events) {
+			r.start = 0
+		}
 		r.dropped++
 		return
 	}
 	r.events = append(r.events, e)
 }
 
-// Events returns all stored events in order.
+// Emit implements Sink.
+func (r *Recorder) Emit(e Event) { r.Record(e) }
+
+// Events returns all stored events in order, oldest first.
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
-	return r.events
+	if r.start == 0 {
+		return r.events
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
+	return out
 }
 
-// Dropped returns how many events were discarded due to the limit.
+// Dropped returns how many events were overwritten due to the limit.
 func (r *Recorder) Dropped() int {
 	if r == nil {
 		return 0
@@ -148,6 +252,7 @@ func (r *Recorder) Reset() {
 		return
 	}
 	r.events = r.events[:0]
+	r.start = 0
 	r.dropped = 0
 }
 

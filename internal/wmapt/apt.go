@@ -7,6 +7,7 @@ import (
 
 	"uwm/internal/aes"
 	"uwm/internal/core"
+	"uwm/internal/metrics"
 	"uwm/internal/noise"
 	"uwm/internal/otp"
 )
@@ -105,7 +106,35 @@ func New(env *Env, opts Options) (*APT, error) {
 	if evalN <= 0 {
 		evalN = DefaultEvalMultiple
 	}
-	return &APT{m: m, xor: gate, env: env, evalN: evalN}, nil
+	a := &APT{m: m, xor: gate, env: env, evalN: evalN}
+	a.registerMetrics(m.Metrics())
+	return a, nil
+}
+
+// Metric series exported by the obfuscation engine.
+const (
+	MetricPings     = "uwm_apt_pings_total"
+	MetricDecodes   = "uwm_apt_trigger_decodes_total"
+	MetricTriggered = "uwm_apt_triggered"
+)
+
+// registerMetrics exposes the ping and trigger-decode counters on the
+// machine's registry (a no-op when none is attached).
+func (a *APT) registerMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc(MetricPings, "pings processed since install",
+		func() uint64 { return uint64(a.pings) })
+	reg.CounterFunc(MetricDecodes, "weird-XOR trigger decode attempts",
+		func() uint64 { return uint64(a.tries) })
+	reg.GaugeFunc(MetricTriggered, "1 after the payload has fired",
+		func() float64 {
+			if a.fired {
+				return 1
+			}
+			return 0
+		})
 }
 
 // Machine exposes the underlying weird machine (for the analyzer).
