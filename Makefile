@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_OUT ?= BENCH_$(shell date +%Y%m%d-%H%M%S).json
 
-.PHONY: all build test race vet fmt-check ci bench clean
+.PHONY: all build test race vet fmt-check ci bench bench-report bench-compare clean
 
 all: build
 
@@ -28,6 +29,14 @@ ci: fmt-check vet build race
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# bench-report writes a machine-readable evaluation record; compare two
+# of them with `make bench-compare OLD=bench/BENCH_x.json NEW=BENCH_y.json`.
+bench-report:
+	$(GO) run ./cmd/uwm-bench -all -repeat 5 -json $(BENCH_OUT)
+
+bench-compare:
+	$(GO) run ./cmd/uwm-bench -compare $(OLD) $(NEW)
 
 clean:
 	$(GO) clean ./...

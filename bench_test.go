@@ -130,7 +130,7 @@ func BenchmarkFigure6_TriggerHistogram(b *testing.B) {
 func BenchmarkFigure7_AndGateKDE(b *testing.B) {
 	p := benchParams()
 	for i := 0; i < b.N; i++ {
-		if _, _, _, err := evalharness.FigureKDE(p, "AND"); err != nil {
+		if _, err := evalharness.FigureKDE(p, "AND"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -140,7 +140,7 @@ func BenchmarkFigure7_AndGateKDE(b *testing.B) {
 func BenchmarkFigure8_OrGateKDE(b *testing.B) {
 	p := benchParams()
 	for i := 0; i < b.N; i++ {
-		if _, _, _, err := evalharness.FigureKDE(p, "OR"); err != nil {
+		if _, err := evalharness.FigureKDE(p, "OR"); err != nil {
 			b.Fatal(err)
 		}
 	}

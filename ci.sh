@@ -20,4 +20,14 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== bench report (quick sizes) =="
+go run ./cmd/uwm-bench -all -repeat 5 -json BENCH_ci.json >/dev/null
+
+baseline="$(ls bench/BENCH_*.json 2>/dev/null | sort | tail -n 1)"
+if [ -n "$baseline" ]; then
+	echo "== perf comparison vs $baseline (report-only) =="
+	go run ./cmd/uwm-bench -compare "$baseline" BENCH_ci.json ||
+		echo "perf comparator reported significant regressions (soft gate: not failing CI)"
+fi
+
 echo "CI passed"

@@ -3,62 +3,108 @@
 //
 // Usage:
 //
-//	uwm-bench -all                 # every table and figure, quick sizes
-//	uwm-bench -table 8             # one table
-//	uwm-bench -figure 7            # one figure
-//	uwm-bench -ablation            # design-choice ablations
-//	uwm-bench -all -full           # paper-sized runs (slow)
+//	uwm-bench -all                          # every table and figure, quick sizes
+//	uwm-bench -table 8                      # one table
+//	uwm-bench -figure 7                     # one figure
+//	uwm-bench -ablation                     # design-choice ablations
+//	uwm-bench -all -full                    # paper-sized runs (slow)
+//	uwm-bench -all -json BENCH.json         # also write a machine-readable report
+//	uwm-bench -all -json out.json -repeat 5 # wall-time samples across 5 repeats
+//	uwm-bench -compare old.json new.json    # benchstat-style perf diff
 //
 // Quick sizes keep every experiment in seconds; -full switches to the
 // paper's operation counts (Table 2: 1M ops/gate, Table 5: 320k,
 // Tables 6–8: 64k, 100 APT experiments, SHA-1 with s=10,k=3,n=5).
+//
+// -json serialises per-experiment wall time, allocation stats and every
+// named metric (gate ops/sec, accuracies, delay medians …) as a
+// versioned report; -compare diffs two such reports and exits with
+// code 3 when a statistically significant regression is found.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
+	"strings"
 	"time"
 
+	"uwm/internal/benchreport"
 	"uwm/internal/evalharness"
 	"uwm/internal/obs"
+	"uwm/internal/stats"
 )
 
 func main() {
-	os.Exit(realMain())
+	os.Exit(realMain(os.Args[1:]))
 }
 
 // realMain returns main's exit code so the observability session
-// closes (metrics exposition, trace flush) on every path.
-func realMain() int {
+// closes (metrics exposition, trace flush) on every path, and so tests
+// can drive the CLI: 0 ok, 1 runtime error, 2 usage error, 3 compare
+// found significant regressions.
+func realMain(args []string) int {
+	fs := flag.NewFlagSet("uwm-bench", flag.ContinueOnError)
 	var (
-		tableN   = flag.Int("table", 0, "reproduce one table (2,3,4,5,6,7,8)")
-		figureN  = flag.Int("figure", 0, "reproduce one figure (6,7,8)")
-		ablation = flag.Bool("ablation", false, "run design-choice ablations")
-		extra    = flag.Bool("extra", false, "run extension experiments (WR covert-channel capacities)")
-		all      = flag.Bool("all", false, "reproduce every table and figure")
-		full     = flag.Bool("full", false, "use the paper's experiment sizes (slow)")
-		record   = flag.Bool("record", false, "use the EXPERIMENTS.md recording sizes (paper-sized where cheap)")
-		seed     = flag.Uint64("seed", 0, "override the experiment seed")
-		obsCfg   obs.Config
+		tableN    = fs.Int("table", 0, "reproduce one table (2,3,4,5,6,7,8)")
+		figureN   = fs.Int("figure", 0, "reproduce one figure (6,7,8)")
+		ablation  = fs.Bool("ablation", false, "run design-choice ablations")
+		extra     = fs.Bool("extra", false, "run extension experiments (WR covert-channel capacities)")
+		all       = fs.Bool("all", false, "reproduce every table and figure")
+		full      = fs.Bool("full", false, "use the paper's experiment sizes (slow)")
+		record    = fs.Bool("record", false, "use the EXPERIMENTS.md recording sizes (paper-sized where cheap)")
+		seed      = fs.Uint64("seed", 0, "override the experiment seed")
+		jsonOut   = fs.String("json", "", "write a machine-readable benchreport to this file")
+		repeat    = fs.Int("repeat", 1, "with -json: run each experiment N times for wall-time samples")
+		compare   = fs.Bool("compare", false, "compare two benchreport files: uwm-bench -compare old.json new.json")
+		threshold = fs.Float64("threshold", 0.10, "with -compare: relative change considered notable")
+		alpha     = fs.Float64("alpha", 0.05, "with -compare: significance level for the Mann-Whitney test")
+		allDeltas = fs.Bool("all-deltas", false, "with -compare: print unchanged metrics too")
+		obsCfg    obs.Config
 	)
-	obsCfg.AddFlags(flag.CommandLine)
-	flag.Parse()
+	obsCfg.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *compare {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: uwm-bench -compare old.json new.json")
+			return 2
+		}
+		return runCompare(fs.Arg(0), fs.Arg(1), benchreport.Options{Threshold: *threshold, Alpha: *alpha}, *allDeltas)
+	}
+
+	// Selection flags are mutually exclusive: -all already includes
+	// every table and figure, and one -table cannot also be a -figure.
+	switch {
+	case *tableN != 0 && *figureN != 0:
+		fmt.Fprintln(os.Stderr, "uwm-bench: -table and -figure are mutually exclusive; pick one (or -all)")
+		return 2
+	case *all && (*tableN != 0 || *figureN != 0):
+		fmt.Fprintln(os.Stderr, "uwm-bench: -all already selects every table and figure; drop -table/-figure")
+		return 2
+	}
+	if !*all && *tableN == 0 && *figureN == 0 && !*ablation && !*extra {
+		fs.Usage()
+		return 2
+	}
+	if *repeat < 1 {
+		*repeat = 1
+	}
 
 	params := evalharness.Quick()
+	preset := "quick"
 	if *record {
-		params = evalharness.Record()
+		params, preset = evalharness.Record(), "record"
 	}
 	if *full {
-		params = evalharness.Full()
+		params, preset = evalharness.Full(), "full"
 	}
 	if *seed != 0 {
 		params.Seed = *seed
-	}
-
-	if !*all && *tableN == 0 && *figureN == 0 && !*ablation && !*extra {
-		flag.Usage()
-		return 2
 	}
 
 	sess, err := obs.Start(obsCfg)
@@ -70,139 +116,109 @@ func realMain() int {
 	params.Metrics = sess.Registry
 	params.Sink = sess.Sink
 
-	code := 0
-	run := func(name string, f func() error) {
-		if code != 0 {
-			return
+	selected := func(r evalharness.Registered) bool {
+		if *all {
+			return true
 		}
+		switch {
+		case r.Table != 0:
+			return *tableN == r.Table
+		case r.Figure != 0:
+			return *figureN == r.Figure
+		case r.Name == "ablations":
+			return *ablation
+		case r.Name == "extra":
+			return *extra
+		}
+		return false
+	}
+
+	report := benchreport.New(params.Seed, preset)
+	report.CreatedUnix = time.Now().Unix()
+	report.GitSHA = gitSHA()
+
+	for _, reg := range Registry() {
+		if !selected(reg) {
+			continue
+		}
+		exp, err := measure(reg, params, *repeat)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uwm-bench: %s: %v\n", reg.Name, err)
+			return 1
+		}
+		report.Add(*exp)
+	}
+
+	if *jsonOut != "" {
+		if err := report.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "uwm-bench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("(benchreport written to %s)\n", *jsonOut)
+	}
+	return 0
+}
+
+// Registry is indirected for tests.
+var Registry = evalharness.Registry
+
+// measure runs one experiment `repeats` times, printing its rendered
+// output once and collecting wall-time and allocation statistics.
+func measure(reg evalharness.Registered, params evalharness.Params, repeats int) (*benchreport.Experiment, error) {
+	exp := &benchreport.Experiment{Name: reg.Name}
+	wall := make([]float64, 0, repeats)
+	for i := 0; i < repeats; i++ {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "uwm-bench: %s: %v\n", name, err)
-			code = 1
-			return
+		res, err := reg.Run(params)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return nil, err
 		}
-		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		wall = append(wall, float64(elapsed.Nanoseconds()))
+		if i == 0 {
+			fmt.Println(res.Text)
+			fmt.Printf("(%s took %v)\n\n", reg.Name, elapsed.Round(time.Millisecond))
+			exp.AllocBytes = after.TotalAlloc - before.TotalAlloc
+			exp.Allocs = after.Mallocs - before.Mallocs
+			exp.Metrics = res.Metrics
+		}
 	}
+	exp.WallNanos = int64(stats.Summarize(append([]float64(nil), wall...)).Median)
+	if repeats > 1 {
+		exp.WallSamples = wall
+	}
+	return exp, nil
+}
 
-	printTable := func(t *evalharness.Table) { fmt.Println(t.Render()) }
+// runCompare implements `uwm-bench -compare old.json new.json`.
+func runCompare(oldPath, newPath string, opts benchreport.Options, allDeltas bool) int {
+	oldRep, err := benchreport.ReadFile(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uwm-bench: %v\n", err)
+		return 1
+	}
+	newRep, err := benchreport.ReadFile(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uwm-bench: %v\n", err)
+		return 1
+	}
+	cmp := benchreport.Compare(oldRep, newRep, opts)
+	fmt.Print(cmp.Render(!allDeltas))
+	if len(cmp.Regressions()) > 0 {
+		return 3
+	}
+	return 0
+}
 
-	wantTable := func(n int) bool { return *all || *tableN == n }
-	wantFigure := func(n int) bool { return *all || *figureN == n }
-
-	if wantTable(2) {
-		run("table 2", func() error {
-			t, err := evalharness.Table2(params)
-			if err != nil {
-				return err
-			}
-			printTable(t)
-			return nil
-		})
+// gitSHA stamps the report with the working tree's commit, best-effort:
+// an empty string outside a git checkout.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
 	}
-	if wantTable(3) || wantFigure(6) {
-		run("table 3 / figure 6", func() error {
-			t, counts, err := evalharness.Table3(params)
-			if err != nil {
-				return err
-			}
-			if wantTable(3) {
-				printTable(t)
-			}
-			if wantFigure(6) {
-				fmt.Println(evalharness.Figure6(counts))
-			}
-			return nil
-		})
-	}
-	if wantTable(4) {
-		run("table 4", func() error {
-			t, err := evalharness.Table4(params)
-			if err != nil {
-				return err
-			}
-			printTable(t)
-			return nil
-		})
-	}
-	if wantTable(5) {
-		run("table 5", func() error {
-			t, err := evalharness.Table5(params)
-			if err != nil {
-				return err
-			}
-			printTable(t)
-			return nil
-		})
-	}
-	if wantTable(6) {
-		run("table 6", func() error {
-			t, err := evalharness.Table6(params)
-			if err != nil {
-				return err
-			}
-			printTable(t)
-			return nil
-		})
-	}
-	if wantTable(7) {
-		run("table 7", func() error {
-			t, err := evalharness.Table7(params)
-			if err != nil {
-				return err
-			}
-			printTable(t)
-			return nil
-		})
-	}
-	if wantTable(8) {
-		run("table 8", func() error {
-			t, err := evalharness.Table8(params)
-			if err != nil {
-				return err
-			}
-			printTable(t)
-			return nil
-		})
-	}
-	if wantFigure(7) {
-		run("figure 7", func() error {
-			text, _, _, err := evalharness.FigureKDE(params, "AND")
-			if err != nil {
-				return err
-			}
-			fmt.Println(text)
-			return nil
-		})
-	}
-	if wantFigure(8) {
-		run("figure 8", func() error {
-			text, _, _, err := evalharness.FigureKDE(params, "OR")
-			if err != nil {
-				return err
-			}
-			fmt.Println(text)
-			return nil
-		})
-	}
-	if *ablation || *all {
-		run("ablations", func() error {
-			t, err := evalharness.Ablations(params)
-			if err != nil {
-				return err
-			}
-			printTable(t)
-			return nil
-		})
-	}
-	if *extra || *all {
-		run("extra", func() error {
-			t, err := evalharness.ExtraChannels(params)
-			if err != nil {
-				return err
-			}
-			printTable(t)
-			return nil
-		})
-	}
-	return code
+	return strings.TrimSpace(string(out))
 }

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"uwm/internal/benchreport"
+	"uwm/internal/evalharness"
+)
+
+// fakeRegistry swaps in an instant experiment so CLI tests don't pay
+// for real simulator runs.
+func fakeRegistry(t *testing.T, metrics ...benchreport.Metric) {
+	t.Helper()
+	old := Registry
+	Registry = func() []evalharness.Registered {
+		return []evalharness.Registered{{
+			Name: "table2", Table: 2,
+			Run: func(evalharness.Params) (*evalharness.RunResult, error) {
+				return &evalharness.RunResult{Name: "table2", Text: "== fake ==", Metrics: metrics}, nil
+			},
+		}}
+	}
+	t.Cleanup(func() { Registry = old })
+}
+
+func TestSelectionConflicts(t *testing.T) {
+	fakeRegistry(t)
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"table and figure", []string{"-table", "2", "-figure", "7"}, 2},
+		{"all and table", []string{"-all", "-table", "2"}, 2},
+		{"all and figure", []string{"-all", "-figure", "6"}, 2},
+		{"nothing selected", nil, 2},
+		{"bad flag", []string{"-bogus"}, 2},
+		{"valid single table", []string{"-table", "2"}, 0},
+		{"valid all", []string{"-all"}, 0},
+	}
+	for _, c := range cases {
+		if got := realMain(c.args); got != c.want {
+			t.Errorf("%s: exit %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	fakeRegistry(t, benchreport.Metric{
+		Name: "AND/ops_per_sec", Unit: "ops/s",
+		Better: benchreport.HigherIsBetter, Value: 60000,
+	})
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if code := realMain([]string{"-table", "2", "-json", path, "-repeat", "3"}); code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	rep, err := benchreport.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != benchreport.SchemaVersion || rep.Params != "quick" {
+		t.Errorf("header: %+v", rep)
+	}
+	e := rep.Experiment("table2")
+	if e == nil {
+		t.Fatalf("table2 missing from %v", rep.ExperimentNames())
+	}
+	if len(e.WallSamples) != 3 {
+		t.Errorf("wall samples: %v", e.WallSamples)
+	}
+	if m := e.Metric("AND/ops_per_sec"); m == nil || m.Value != 60000 {
+		t.Errorf("metric: %+v", m)
+	}
+}
+
+// TestCompareExitCodes is the acceptance contract: identical inputs
+// exit 0, an injected significant regression exits nonzero.
+func TestCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, wall []float64, acc float64) string {
+		r := benchreport.New(1, "quick")
+		exp := benchreport.Experiment{Name: "table2", WallNanos: int64(wall[len(wall)/2]), WallSamples: wall}
+		exp.Metrics = []benchreport.Metric{{
+			Name: "AND/accuracy", Better: benchreport.HigherIsBetter, Value: acc,
+		}}
+		r.Add(exp)
+		path := filepath.Join(dir, name)
+		if err := r.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	fast := []float64{100, 101, 102, 103, 104}
+	slow := []float64{300, 301, 302, 303, 304}
+	base := write("old.json", fast, 0.99)
+
+	if code := realMain([]string{"-compare", base, base}); code != 0 {
+		t.Errorf("identical reports: exit %d, want 0", code)
+	}
+	regressed := write("new.json", slow, 0.99)
+	if code := realMain([]string{"-compare", base, regressed}); code != 3 {
+		t.Errorf("injected 3x wall regression: exit %d, want 3", code)
+	}
+	improved := write("better.json", fast, 0.999)
+	if code := realMain([]string{"-compare", base, improved}); code != 0 {
+		t.Errorf("improvement flagged as regression: exit %d", code)
+	}
+
+	if code := realMain([]string{"-compare", base}); code != 2 {
+		t.Errorf("missing arg: exit %d, want 2", code)
+	}
+	if code := realMain([]string{"-compare", base, filepath.Join(dir, "missing.json")}); code != 1 {
+		t.Errorf("unreadable file: exit %d, want 1", code)
+	}
+}

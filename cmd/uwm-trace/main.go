@@ -1,0 +1,80 @@
+// Command uwm-trace is the offline trace analyzer: it parses the JSONL
+// event stream a `-trace-out file.jsonl` run produced and computes the
+// reports the live path cannot — per-gate timeline reconstruction,
+// speculative-window length distributions versus gate outcome (the
+// paper's §4 race), contention detection inside open windows, and an
+// HPC-style detectability summary replayed from the trace (§7).
+//
+// Usage:
+//
+//	uwm-gates -op tsx_and -truth -trace-out run.jsonl
+//	uwm-trace run.jsonl                     # human-readable report
+//	uwm-trace -format json run.jsonl | jq . # machine-readable report
+//	uwm-trace - < run.jsonl                 # read from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uwm/internal/traceanalyze"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:]))
+}
+
+// realMain returns main's exit code so tests can drive the CLI.
+func realMain(args []string) int {
+	fs := flag.NewFlagSet("uwm-trace", flag.ContinueOnError)
+	format := fs.String("format", "table", "output format: table or json")
+	maxOverlaps := fs.Int("max-overlaps", 8, "contention incidents to list individually (counts stay exact)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: uwm-trace [-format table|json] <trace.jsonl | ->\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "table" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "uwm-trace: unknown format %q (want table or json)\n", *format)
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+
+	path := fs.Arg(0)
+	var (
+		parsed *traceanalyze.ParseResult
+		err    error
+	)
+	if path == "-" {
+		parsed, err = traceanalyze.ParseJSONL(os.Stdin)
+	} else {
+		parsed, err = traceanalyze.ParseFile(path)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uwm-trace: %v\n", err)
+		return 1
+	}
+	if parsed.Truncated {
+		fmt.Fprintf(os.Stderr, "uwm-trace: warning: truncated final line dropped; analyzing the %d-event prefix\n", len(parsed.Events))
+	}
+
+	report := traceanalyze.Analyze(parsed.Events, traceanalyze.Options{MaxOverlapSamples: *maxOverlaps})
+	report.Truncated = parsed.Truncated
+
+	switch *format {
+	case "json":
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "uwm-trace: %v\n", err)
+			return 1
+		}
+	default:
+		fmt.Print(report.RenderTable())
+	}
+	return 0
+}

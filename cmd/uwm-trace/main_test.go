@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"uwm/internal/core"
+	"uwm/internal/noise"
+	"uwm/internal/trace"
+)
+
+// writeGateTrace produces a real JSONL trace by running a TSX gate with
+// the streaming sink attached — the same path `uwm-gates -trace-out`
+// uses.
+func writeGateTrace(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := trace.NewJSONLSink(f)
+	m, err := core.NewMachine(core.Options{Seed: 11, Noise: noise.Paper(), TrainIterations: 3, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.NewTSXAndOr(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := g.Run(i&1, (i>>1)&1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIBothFormats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	writeGateTrace(t, path)
+	for _, format := range []string{"table", "json"} {
+		if code := realMain([]string{"-format", format, path}); code != 0 {
+			t.Errorf("realMain(-format %s) = %d, want 0", format, code)
+		}
+	}
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	if code := realMain(nil); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := realMain([]string{"-format", "xml", "x.jsonl"}); code != 2 {
+		t.Errorf("bad format: exit %d, want 2", code)
+	}
+	if code := realMain([]string{filepath.Join(t.TempDir(), "missing.jsonl")}); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}

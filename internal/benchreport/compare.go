@@ -1,0 +1,307 @@
+package benchreport
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"uwm/internal/stats"
+)
+
+// The comparator: benchstat's decision procedure adapted to the
+// evaluation harness. Metrics that carry sample vectors on both sides
+// get a Mann-Whitney U test; point-estimate metrics fall back to a
+// relative-delta threshold. A delta is a *regression* only when it is
+// significant, beyond the threshold, and moves against the metric's
+// declared better-direction.
+
+// Options tunes the comparison.
+type Options struct {
+	// Alpha is the significance level for the Mann-Whitney test
+	// (default 0.05).
+	Alpha float64
+	// Threshold is the minimum relative delta to report at all and the
+	// significance cutoff for sample-less metrics (default 0.10).
+	Threshold float64
+}
+
+func (o *Options) normalize() {
+	if o.Alpha == 0 {
+		o.Alpha = 0.05
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 0.10
+	}
+}
+
+// Verdict classifies one metric delta.
+type Verdict string
+
+const (
+	// Same: no significant change.
+	Same Verdict = "~"
+	// Better: significant change in the metric's preferred direction.
+	Better Verdict = "better"
+	// Worse: significant change against the preferred direction — a
+	// regression when the metric declares a direction.
+	Worse Verdict = "worse"
+	// Changed: significant change on a neutral metric.
+	Changed Verdict = "changed"
+	// OnlyOld / OnlyNew: the metric or experiment exists on one side.
+	OnlyOld Verdict = "gone"
+	OnlyNew Verdict = "new"
+)
+
+// Delta is one compared metric.
+type Delta struct {
+	Experiment string  `json:"experiment"`
+	Metric     string  `json:"metric"`
+	Unit       string  `json:"unit,omitempty"`
+	Better     string  `json:"better,omitempty"`
+	Old        float64 `json:"old"`
+	New        float64 `json:"new"`
+	// Rel is the relative change (new-old)/old; NaN when old == 0.
+	Rel float64 `json:"rel"`
+	// P is the Mann-Whitney two-sided p-value, or NaN when either side
+	// lacks samples (threshold-only decision).
+	P       float64 `json:"p"`
+	NOld    int     `json:"n_old"`
+	NNew    int     `json:"n_new"`
+	Verdict Verdict `json:"verdict"`
+}
+
+// regression reports whether this delta counts against the gate.
+func (d Delta) regression() bool { return d.Verdict == Worse }
+
+// Comparison is the full result of comparing two reports.
+type Comparison struct {
+	Opts   Options `json:"options"`
+	OldSHA string  `json:"old_git_sha,omitempty"`
+	NewSHA string  `json:"new_git_sha,omitempty"`
+	Deltas []Delta `json:"deltas"`
+}
+
+// Regressions returns the deltas that count as significant regressions.
+func (c *Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.regression() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Compare evaluates new against old, metric by metric. Wall time and
+// allocation counters are compared as synthetic lower-is-better
+// metrics alongside each experiment's own.
+func Compare(old, new *Report, opts Options) *Comparison {
+	opts.normalize()
+	c := &Comparison{Opts: opts, OldSHA: old.GitSHA, NewSHA: new.GitSHA}
+
+	seen := map[string]bool{}
+	names := append([]string{}, old.ExperimentNames()...)
+	for _, n := range new.ExperimentNames() {
+		if old.Experiment(n) == nil {
+			names = append(names, n)
+		}
+	}
+	for _, name := range names {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		oe, ne := old.Experiment(name), new.Experiment(name)
+		switch {
+		case ne == nil:
+			c.Deltas = append(c.Deltas, Delta{Experiment: name, Metric: "(experiment)", Verdict: OnlyOld, P: math.NaN(), Rel: math.NaN()})
+			continue
+		case oe == nil:
+			c.Deltas = append(c.Deltas, Delta{Experiment: name, Metric: "(experiment)", Verdict: OnlyNew, P: math.NaN(), Rel: math.NaN()})
+			continue
+		}
+		c.compareExperiment(oe, ne)
+	}
+	return c
+}
+
+// synthetic returns the built-in per-experiment metrics.
+func synthetic(e *Experiment) []Metric {
+	return []Metric{
+		{Name: "wall_ns", Unit: "ns", Better: LowerIsBetter,
+			Value: float64(e.WallNanos), Samples: e.WallSamples},
+		{Name: "alloc_bytes", Unit: "B", Better: LowerIsBetter, Value: float64(e.AllocBytes)},
+		{Name: "allocs", Unit: "", Better: LowerIsBetter, Value: float64(e.Allocs)},
+	}
+}
+
+func (c *Comparison) compareExperiment(oe, ne *Experiment) {
+	om := append(synthetic(oe), oe.Metrics...)
+	nm := append(synthetic(ne), ne.Metrics...)
+	lookup := func(ms []Metric, name string) *Metric {
+		for i := range ms {
+			if ms[i].Name == name {
+				return &ms[i]
+			}
+		}
+		return nil
+	}
+	o1 := &Experiment{Metrics: om}
+	n1 := &Experiment{Metrics: nm}
+	for _, name := range SortedMetricNames(o1, n1) {
+		mo, mn := lookup(om, name), lookup(nm, name)
+		switch {
+		case mn == nil:
+			c.Deltas = append(c.Deltas, Delta{Experiment: oe.Name, Metric: name, Unit: mo.Unit,
+				Old: mo.Value, Rel: math.NaN(), P: math.NaN(), Verdict: OnlyOld})
+			continue
+		case mo == nil:
+			c.Deltas = append(c.Deltas, Delta{Experiment: ne.Name, Metric: name, Unit: mn.Unit,
+				New: mn.Value, Rel: math.NaN(), P: math.NaN(), Verdict: OnlyNew})
+			continue
+		}
+		c.Deltas = append(c.Deltas, c.compareMetric(oe.Name, mo, mn))
+	}
+}
+
+// compareMetric decides one delta.
+func (c *Comparison) compareMetric(experiment string, mo, mn *Metric) Delta {
+	d := Delta{
+		Experiment: experiment,
+		Metric:     mo.Name,
+		Unit:       mo.Unit,
+		Better:     mo.Better,
+		Old:        mo.Value,
+		New:        mn.Value,
+		NOld:       len(mo.Samples),
+		NNew:       len(mn.Samples),
+		P:          math.NaN(),
+		Verdict:    Same,
+	}
+	if mo.Value != 0 {
+		d.Rel = (mn.Value - mo.Value) / math.Abs(mo.Value)
+	} else if mn.Value == 0 {
+		d.Rel = 0
+	} else {
+		d.Rel = math.NaN()
+	}
+
+	beyond := math.IsNaN(d.Rel) && mo.Value != mn.Value || math.Abs(d.Rel) >= c.Opts.Threshold
+	significant := beyond
+	if len(mo.Samples) >= 3 && len(mn.Samples) >= 3 {
+		// Enough observations on both sides: require statistical
+		// evidence as well as practical size.
+		u := stats.MannWhitney(mo.Samples, mn.Samples)
+		d.P = u.P
+		significant = beyond && u.P <= c.Opts.Alpha
+	}
+	if !significant {
+		return d
+	}
+	switch {
+	case mo.Better == Neutral:
+		d.Verdict = Changed
+	case mn.Value == mo.Value:
+		d.Verdict = Same
+	case (mn.Value > mo.Value) == (mo.Better == HigherIsBetter):
+		d.Verdict = Better
+	default:
+		d.Verdict = Worse
+	}
+	return d
+}
+
+// Render lays the comparison out as an aligned benchstat-style table.
+// When onlyNotable is true, rows whose verdict is Same are elided.
+func (c *Comparison) Render(onlyNotable bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== perf comparison (threshold %.0f%%, alpha %.2f) ==\n",
+		c.Opts.Threshold*100, c.Opts.Alpha)
+	if c.OldSHA != "" || c.NewSHA != "" {
+		fmt.Fprintf(&sb, "old %s → new %s\n", orUnknown(c.OldSHA), orUnknown(c.NewSHA))
+	}
+	rows := [][]string{{"experiment", "metric", "old", "new", "delta", "p", "verdict"}}
+	shown := 0
+	for _, d := range c.Deltas {
+		if onlyNotable && d.Verdict == Same {
+			continue
+		}
+		shown++
+		rows = append(rows, []string{
+			d.Experiment, d.Metric,
+			formatValue(d.Old, d.Unit), formatValue(d.New, d.Unit),
+			formatRel(d.Rel), formatP(d.P), string(d.Verdict),
+		})
+	}
+	if shown == 0 {
+		sb.WriteString("no notable deltas\n")
+		return sb.String()
+	}
+	widths := make([]int, len(rows[0]))
+	for _, r := range rows {
+		for i, cell := range r {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, r := range rows {
+		for i, cell := range r {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					sb.WriteString("  ")
+				}
+				sb.WriteString(strings.Repeat("-", w))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	if regs := c.Regressions(); len(regs) > 0 {
+		fmt.Fprintf(&sb, "%d significant regression(s)\n", len(regs))
+	}
+	return sb.String()
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "(unknown)"
+	}
+	return s
+}
+
+func formatValue(v float64, unit string) string {
+	var s string
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		s = fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1e6 || (v != 0 && math.Abs(v) < 1e-3):
+		s = fmt.Sprintf("%.3g", v)
+	default:
+		s = fmt.Sprintf("%.4f", v)
+	}
+	if unit != "" {
+		s += unit
+	}
+	return s
+}
+
+func formatRel(rel float64) string {
+	if math.IsNaN(rel) {
+		return "?"
+	}
+	return fmt.Sprintf("%+.1f%%", rel*100)
+}
+
+func formatP(p float64) string {
+	if math.IsNaN(p) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", p)
+}

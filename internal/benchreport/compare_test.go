@@ -1,0 +1,151 @@
+package benchreport
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mkReport(wall int64, wallSamples []float64, acc float64, accSamples []float64) *Report {
+	r := New(1, "quick")
+	r.Add(Experiment{
+		Name:        "table2",
+		WallNanos:   wall,
+		WallSamples: wallSamples,
+		Metrics: []Metric{
+			{Name: "AND/accuracy", Better: HigherIsBetter, Value: acc, Samples: accSamples},
+		},
+	})
+	return r
+}
+
+func findDelta(c *Comparison, metric string) *Delta {
+	for i := range c.Deltas {
+		if c.Deltas[i].Metric == metric {
+			return &c.Deltas[i]
+		}
+	}
+	return nil
+}
+
+// TestCompareIdentical: identical reports produce zero regressions —
+// the comparator's exit-zero contract.
+func TestCompareIdentical(t *testing.T) {
+	a := mkReport(1000, nil, 0.99, nil)
+	b := mkReport(1000, nil, 0.99, nil)
+	c := Compare(a, b, Options{})
+	if regs := c.Regressions(); len(regs) != 0 {
+		t.Fatalf("identical reports flagged: %+v", regs)
+	}
+	for _, d := range c.Deltas {
+		if d.Verdict != Same {
+			t.Errorf("delta %s verdict %s, want ~", d.Metric, d.Verdict)
+		}
+	}
+}
+
+// TestCompareInjectedRegression: a 3x wall-time blowup with clearly
+// separated sample vectors must be flagged as a significant regression.
+func TestCompareInjectedRegression(t *testing.T) {
+	old := mkReport(1000, []float64{990, 1000, 1010, 1005, 995}, 0.99, nil)
+	new := mkReport(3000, []float64{2990, 3000, 3010, 3005, 2995}, 0.99, nil)
+	c := Compare(old, new, Options{})
+	d := findDelta(c, "wall_ns")
+	if d == nil {
+		t.Fatal("no wall_ns delta")
+	}
+	if d.Verdict != Worse {
+		t.Fatalf("wall_ns verdict = %s (p=%v rel=%v), want worse", d.Verdict, d.P, d.Rel)
+	}
+	if math.IsNaN(d.P) || d.P > 0.05 {
+		t.Errorf("expected a significant Mann-Whitney p, got %v", d.P)
+	}
+	if len(c.Regressions()) != 1 {
+		t.Errorf("regressions = %+v", c.Regressions())
+	}
+}
+
+// TestCompareImprovementIsNotRegression: the same delta in the
+// preferred direction is "better", not a gate failure.
+func TestCompareImprovement(t *testing.T) {
+	old := mkReport(3000, nil, 0.90, nil)
+	new := mkReport(1000, nil, 0.99, nil)
+	c := Compare(old, new, Options{})
+	if d := findDelta(c, "wall_ns"); d == nil || d.Verdict != Better {
+		t.Errorf("wall_ns: %+v", d)
+	}
+	if len(c.Regressions()) != 0 {
+		t.Errorf("improvement counted as regression: %+v", c.Regressions())
+	}
+}
+
+// TestCompareAccuracyDrop: a higher-is-better metric falling beyond the
+// threshold regresses.
+func TestCompareAccuracyDrop(t *testing.T) {
+	old := mkReport(1000, nil, 0.99, nil)
+	new := mkReport(1000, nil, 0.50, nil)
+	c := Compare(old, new, Options{})
+	if d := findDelta(c, "AND/accuracy"); d == nil || d.Verdict != Worse {
+		t.Errorf("accuracy drop not flagged: %+v", d)
+	}
+}
+
+// TestCompareNoisySamplesSuppressed: a large-looking point delta whose
+// sample vectors overlap heavily is NOT significant — the Mann-Whitney
+// test is what separates noise from signal.
+func TestCompareNoisySamplesSuppressed(t *testing.T) {
+	old := mkReport(1000, []float64{400, 800, 1200, 1600, 1000}, 0.99, nil)
+	new := mkReport(1150, []float64{500, 900, 1300, 1700, 1100}, 0.99, nil)
+	c := Compare(old, new, Options{Threshold: 0.10})
+	d := findDelta(c, "wall_ns")
+	if d == nil {
+		t.Fatal("no wall_ns delta")
+	}
+	if d.Verdict != Same {
+		t.Errorf("overlapping samples flagged: %+v", d)
+	}
+}
+
+func TestCompareStructuralChanges(t *testing.T) {
+	old := mkReport(1000, nil, 0.99, nil)
+	old.Add(Experiment{Name: "gone-exp", WallNanos: 5})
+	new := mkReport(1000, nil, 0.99, nil)
+	new.Add(Experiment{Name: "new-exp", WallNanos: 5})
+	new.Experiment("table2").Metrics = append(new.Experiment("table2").Metrics,
+		Metric{Name: "fresh", Value: 1})
+	c := Compare(old, new, Options{})
+	var sawGone, sawNew, sawFresh bool
+	for _, d := range c.Deltas {
+		switch {
+		case d.Experiment == "gone-exp" && d.Verdict == OnlyOld:
+			sawGone = true
+		case d.Experiment == "new-exp" && d.Verdict == OnlyNew:
+			sawNew = true
+		case d.Metric == "fresh" && d.Verdict == OnlyNew:
+			sawFresh = true
+		}
+	}
+	if !sawGone || !sawNew || !sawFresh {
+		t.Errorf("structural deltas missing: gone=%v new=%v fresh=%v", sawGone, sawNew, sawFresh)
+	}
+	if len(c.Regressions()) != 0 {
+		t.Errorf("structural changes must not gate: %+v", c.Regressions())
+	}
+}
+
+func TestRender(t *testing.T) {
+	old := mkReport(1000, nil, 0.99, nil)
+	new := mkReport(3000, nil, 0.99, nil)
+	c := Compare(old, new, Options{})
+	out := c.Render(true)
+	for _, want := range []string{"wall_ns", "worse", "+200.0%", "1 significant regression"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Identical comparison renders the no-deltas marker.
+	same := Compare(old, mkReport(1000, nil, 0.99, nil), Options{})
+	if out := same.Render(true); !strings.Contains(out, "no notable deltas") {
+		t.Errorf("render: %s", out)
+	}
+}

@@ -1,0 +1,188 @@
+// Package benchreport defines the machine-readable result model behind
+// `uwm-bench -json`: a versioned, self-describing record of one
+// evaluation run (git SHA, seed, parameter preset, Go toolchain) with
+// per-experiment wall time, allocation stats and named metrics — and a
+// benchstat-style comparator over two such records that turns the
+// repo's BENCH_*.json files into a perf-regression gate.
+package benchreport
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// SchemaVersion identifies the report layout. Readers reject newer
+// majors; writers always stamp the current version.
+const SchemaVersion = 1
+
+// Direction states which way a metric should move to count as an
+// improvement. Neutral metrics are compared but never counted as
+// regressions (e.g. a fraction that merely characterises the workload).
+const (
+	HigherIsBetter = "higher"
+	LowerIsBetter  = "lower"
+	Neutral        = ""
+)
+
+// Metric is one named measurement of an experiment. Value is the point
+// estimate; Samples, when present, carry the underlying observations so
+// the comparator can run a Mann-Whitney U test instead of a bare
+// threshold check.
+type Metric struct {
+	Name    string    `json:"name"`
+	Unit    string    `json:"unit,omitempty"`
+	Better  string    `json:"better,omitempty"` // "higher", "lower" or "" (neutral)
+	Value   float64   `json:"value"`
+	Samples []float64 `json:"samples,omitempty"`
+}
+
+// Experiment is the structured result of one table/figure/ablation run.
+type Experiment struct {
+	Name        string    `json:"name"`
+	WallNanos   int64     `json:"wall_ns"`
+	WallSamples []float64 `json:"wall_ns_samples,omitempty"` // one per -repeat
+	AllocBytes  uint64    `json:"alloc_bytes"`
+	Allocs      uint64    `json:"allocs"`
+	Metrics     []Metric  `json:"metrics,omitempty"`
+}
+
+// Report is one complete `uwm-bench -json` run.
+type Report struct {
+	SchemaVersion int          `json:"schema_version"`
+	Tool          string       `json:"tool"`
+	CreatedUnix   int64        `json:"created_unix"`
+	GitSHA        string       `json:"git_sha,omitempty"`
+	GoVersion     string       `json:"go_version"`
+	GOOS          string       `json:"goos"`
+	GOARCH        string       `json:"goarch"`
+	Seed          uint64       `json:"seed"`
+	Params        string       `json:"params"` // parameter preset: quick, record, full
+	Experiments   []Experiment `json:"experiments"`
+}
+
+// New returns a report stamped with the schema version and the running
+// toolchain. CreatedUnix and GitSHA are the caller's to fill: this
+// package stays deterministic and exec-free.
+func New(seed uint64, params string) *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Tool:          "uwm-bench",
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		Seed:          seed,
+		Params:        params,
+	}
+}
+
+// Add appends an experiment result.
+func (r *Report) Add(e Experiment) { r.Experiments = append(r.Experiments, e) }
+
+// Experiment returns the named experiment, or nil.
+func (r *Report) Experiment(name string) *Experiment {
+	for i := range r.Experiments {
+		if r.Experiments[i].Name == name {
+			return &r.Experiments[i]
+		}
+	}
+	return nil
+}
+
+// Metric returns the named metric, or nil.
+func (e *Experiment) Metric(name string) *Metric {
+	for i := range e.Metrics {
+		if e.Metrics[i].Name == name {
+			return &e.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// ExperimentNames returns every experiment name in report order.
+func (r *Report) ExperimentNames() []string {
+	out := make([]string, len(r.Experiments))
+	for i := range r.Experiments {
+		out[i] = r.Experiments[i].Name
+	}
+	return out
+}
+
+// WriteFile serialises the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchreport: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadFile loads and validates a report written by WriteFile.
+func ReadFile(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchreport: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("benchreport: %s: %w", path, err)
+	}
+	if r.SchemaVersion < 1 || r.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("benchreport: %s: unsupported schema version %d (this build reads ≤ %d)",
+			path, r.SchemaVersion, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// Downsample reduces xs to at most max values by taking every k-th
+// element (deterministic, order-preserving) — enough fidelity for a
+// rank test without bloating the JSON with a million raw samples.
+func Downsample(xs []float64, max int) []float64 {
+	if max <= 0 || len(xs) <= max {
+		return xs
+	}
+	out := make([]float64, 0, max)
+	step := float64(len(xs)) / float64(max)
+	for i := 0; i < max; i++ {
+		out = append(out, xs[int(float64(i)*step)])
+	}
+	return out
+}
+
+// SamplesFromInts converts an integer sample vector.
+func SamplesFromInts(xs []int64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// SortedMetricNames returns the union of metric names of two
+// experiments, in deterministic order: e1's metrics first (report
+// order), then any e2-only names sorted.
+func SortedMetricNames(e1, e2 *Experiment) []string {
+	var names []string
+	seen := map[string]bool{}
+	if e1 != nil {
+		for _, m := range e1.Metrics {
+			if !seen[m.Name] {
+				seen[m.Name] = true
+				names = append(names, m.Name)
+			}
+		}
+	}
+	var extra []string
+	if e2 != nil {
+		for _, m := range e2.Metrics {
+			if !seen[m.Name] {
+				seen[m.Name] = true
+				extra = append(extra, m.Name)
+			}
+		}
+	}
+	sort.Strings(extra)
+	return append(names, extra...)
+}

@@ -1,0 +1,86 @@
+package benchreport
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *Report {
+	r := New(2021, "quick")
+	r.CreatedUnix = 1_700_000_000
+	r.GitSHA = "deadbeef"
+	r.Add(Experiment{
+		Name:      "table2",
+		WallNanos: 1_000_000,
+		Allocs:    10, AllocBytes: 4096,
+		Metrics: []Metric{
+			{Name: "AND/ops_per_sec", Unit: "op/s", Better: HigherIsBetter, Value: 100_000},
+			{Name: "AND/accuracy", Better: HigherIsBetter, Value: 0.9999},
+		},
+	})
+	return r
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	r := sample()
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != SchemaVersion || got.Seed != 2021 || got.Params != "quick" {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	e := got.Experiment("table2")
+	if e == nil {
+		t.Fatal("experiment lost in round trip")
+	}
+	if m := e.Metric("AND/accuracy"); m == nil || m.Value != 0.9999 {
+		t.Errorf("metric lost: %+v", m)
+	}
+	if got.Experiment("nope") != nil || e.Metric("nope") != nil {
+		t.Error("lookup of missing names must return nil")
+	}
+}
+
+func TestReadFileRejectsBadSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	r := sample()
+	r.SchemaVersion = SchemaVersion + 1
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("future schema accepted: %v", err)
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	got := Downsample(xs, 10)
+	if len(got) != 10 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0] != 0 || got[9] != 90 {
+		t.Errorf("downsample endpoints: %v", got)
+	}
+	if out := Downsample(xs, 200); len(out) != 100 {
+		t.Error("downsample must not grow the sample")
+	}
+	if out := Downsample(xs, 0); len(out) != 100 {
+		t.Error("max ≤ 0 means no downsampling")
+	}
+}

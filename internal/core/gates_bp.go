@@ -163,7 +163,9 @@ func (g *BPGate) RunTimed(in ...int) (int, int64, error) {
 	delta := g.m.readDelta()
 	g.fires.Inc()
 	g.readLat.Observe(float64(delta))
-	return g.m.ToBit(delta), delta, nil
+	bit := g.m.ToBit(delta)
+	g.m.emitTimedRead(g.name, 0, bit, delta, g.out.Addr)
+	return bit, delta, nil
 }
 
 // condReg returns the fire-section condition register for block blk.

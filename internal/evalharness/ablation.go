@@ -3,6 +3,7 @@ package evalharness
 import (
 	"fmt"
 
+	"uwm/internal/benchreport"
 	"uwm/internal/core"
 	"uwm/internal/cpu"
 	"uwm/internal/noise"
@@ -96,7 +97,7 @@ func Ablations(p Params) (*Table, error) {
 	if ops < 500 {
 		ops = 500
 	}
-	for _, v := range variants {
+	for i, v := range variants {
 		opts, err := v.opts()
 		if err != nil {
 			return nil, err
@@ -104,6 +105,12 @@ func Ablations(p Params) (*Table, error) {
 		m, err := core.NewMachine(p.observe(opts))
 		if err != nil {
 			return nil, err
+		}
+		// Only the baseline's accuracy is a quality target; degraded
+		// variants exist to be bad, so their metrics stay neutral.
+		better := benchreport.Neutral
+		if i == 0 {
+			better = benchreport.HigherIsBetter
 		}
 		rng := noise.NewRNG(p.Seed + 77)
 		if v.gates == "bp" || v.gates == "both" {
@@ -116,6 +123,8 @@ func Ablations(p Params) (*Table, error) {
 				return nil, err
 			}
 			t.AddRow(v.name, "AND (bp/icache)", fmt.Sprintf("%d", ops), fmt.Sprintf("%.5f", rep.Accuracy()))
+			t.AddMetric(benchreport.Metric{Name: v.name + "/AND_bp/accuracy", Unit: "ratio",
+				Better: better, Value: rep.Accuracy()})
 		}
 		if v.gates == "tsx" || v.gates == "both" {
 			g, err := core.NewTSXAnd(m)
@@ -127,6 +136,8 @@ func Ablations(p Params) (*Table, error) {
 				return nil, err
 			}
 			t.AddRow(v.name, "TSX_AND", fmt.Sprintf("%d", ops), fmt.Sprintf("%.5f", rep.Accuracy()))
+			t.AddMetric(benchreport.Metric{Name: v.name + "/TSX_AND/accuracy", Unit: "ratio",
+				Better: better, Value: rep.Accuracy()})
 		}
 	}
 	return t, nil

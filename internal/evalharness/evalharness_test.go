@@ -198,15 +198,19 @@ func TestTable8Accuracies(t *testing.T) {
 }
 
 func TestFigureKDE(t *testing.T) {
-	text, k0, k1, err := FigureKDE(tiny(), "AND")
+	fig, err := FigureKDE(tiny(), "AND")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(text, "Figure 7") {
+	k0, k1 := fig.K0, fig.K1
+	if !strings.Contains(fig.Text, "Figure 7") {
 		t.Error("missing title")
 	}
 	if len(k0) == 0 || len(k1) == 0 {
 		t.Fatal("empty KDE series")
+	}
+	if len(fig.Metrics) == 0 {
+		t.Error("figure carries no metrics")
 	}
 	// logic-1 reads cluster fast, logic-0 reads cluster slow: compare
 	// the density-weighted means.
@@ -222,7 +226,7 @@ func TestFigureKDE(t *testing.T) {
 	if m1/w1 >= m0/w0 {
 		t.Errorf("logic-1 KDE mean %f not faster than logic-0 mean %f", m1/w1, m0/w0)
 	}
-	if _, _, _, err := FigureKDE(tiny(), "NOPE"); err == nil {
+	if _, err := FigureKDE(tiny(), "NOPE"); err == nil {
 		t.Error("unknown gate accepted")
 	}
 }

@@ -3,6 +3,7 @@ package evalharness
 import (
 	"fmt"
 
+	"uwm/internal/benchreport"
 	"uwm/internal/core"
 	"uwm/internal/noise"
 	"uwm/internal/sha1wm"
@@ -110,6 +111,10 @@ func appendTable2Row(t *Table, rep core.AccuracyReport, p Params) {
 		fmt.Sprintf("%.0f", ref.opsPerSec),
 		fmt.Sprintf("%.1f%%", ref.accuracy*100),
 	)
+	t.AddMetric(benchreport.Metric{Name: rep.Gate + "/ops_per_sec", Unit: "ops/s",
+		Better: benchreport.HigherIsBetter, Value: rep.OpsPerSecond(p.ClockHz)})
+	t.AddMetric(benchreport.Metric{Name: rep.Gate + "/accuracy", Unit: "ratio",
+		Better: benchreport.HigherIsBetter, Value: rep.Accuracy()})
 }
 
 // Table3 reproduces the wm_apt trigger-count statistics, and returns
@@ -138,6 +143,9 @@ func Table3(p Params) (*Table, []int64, error) {
 	t.AddRow("Triggers",
 		fmt.Sprintf("%.0f", s.Min), fmt.Sprintf("%.0f", s.Q1), fmt.Sprintf("%.0f", s.Median),
 		fmt.Sprintf("%.0f", s.Q3), fmt.Sprintf("%.0f", s.Max), fmt.Sprintf("%.2f", s.StdDev))
+	t.AddMetric(benchreport.Metric{Name: "triggers/median", Unit: "count", Value: s.Median,
+		Samples: benchreport.Downsample(benchreport.SamplesFromInts(counts), 256)})
+	t.AddMetric(benchreport.Metric{Name: "triggers/mean", Unit: "count", Value: s.Mean})
 	return t, counts, nil
 }
 
@@ -193,7 +201,15 @@ func Table4(p Params) (*Table, error) {
 		t.AddRow(g,
 			fmt.Sprintf("%d/%d = %.6f", c.MedianCorrect, c.MedianOps, ratio(c.MedianCorrect, c.MedianOps)),
 			fmt.Sprintf("%d/%d = %.6f", c.VoteCorrect, c.VoteOps, ratio(c.VoteCorrect, c.VoteOps)))
+		t.AddMetric(benchreport.Metric{Name: g + "/median_correct", Unit: "ratio",
+			Better: benchreport.HigherIsBetter, Value: ratio(c.MedianCorrect, c.MedianOps)})
+		t.AddMetric(benchreport.Metric{Name: g + "/vote_correct", Unit: "ratio",
+			Better: benchreport.HigherIsBetter, Value: ratio(c.VoteCorrect, c.VoteOps)})
 	}
+	t.AddMetric(benchreport.Metric{Name: "visible_fraction", Unit: "ratio",
+		Value: h.Stats().VisibleFraction()})
+	t.AddMetric(benchreport.Metric{Name: "digest_ok", Unit: "bool",
+		Better: benchreport.HigherIsBetter, Value: b2f(ok)})
 	if !ok {
 		t.Notes = append(t.Notes, "WARNING: digest mismatch — a vote error escaped redundancy")
 	}
@@ -205,6 +221,13 @@ func ratio(a, b uint64) float64 {
 		return 0
 	}
 	return float64(a) / float64(b)
+}
+
+func b2f(ok bool) float64 {
+	if ok {
+		return 1
+	}
+	return 0
 }
 
 // Table5 reproduces the BP/IC gate accuracy evaluation under the §6.1
@@ -236,6 +259,8 @@ func Table5(p Params) (*Table, error) {
 		}
 		t.AddRow(g.Name(), fmt.Sprintf("%d", rep.Operations), fmt.Sprintf("%d", rep.Correct),
 			fmt.Sprintf("%.8f", rep.Accuracy()))
+		t.AddMetric(benchreport.Metric{Name: g.Name() + "/accuracy", Unit: "ratio",
+			Better: benchreport.HigherIsBetter, Value: rep.Accuracy()})
 	}
 	return t, nil
 }
@@ -254,6 +279,10 @@ func delayTable(title string, labels []string, samplesPerRow [][]float64, paperN
 			fmt.Sprintf("%.0f", s.Min), fmt.Sprintf("%.0f", s.Q1), fmt.Sprintf("%.0f", s.Median),
 			fmt.Sprintf("%.0f", s.Q3), fmt.Sprintf("%.0f", s.Max),
 			fmt.Sprintf("%.6f", s.StdDev), fmt.Sprintf("%.6f", s.Mean))
+		// The delay encodes the logic value, so the metric is neutral:
+		// drift either way is a change worth seeing, not a regression.
+		t.AddMetric(benchreport.Metric{Name: "delay/" + label + "/median", Unit: "cycles",
+			Value: s.Median, Samples: benchreport.Downsample(samplesPerRow[i], 256)})
 	}
 	return t
 }
@@ -361,13 +390,25 @@ func table8On(m *core.Machine, p Params, title string) (*Table, error) {
 		}
 		t.AddRow(g.Name(), fmt.Sprintf("%d", rep.Correct), fmt.Sprintf("%d", rep.SpuriousAborts),
 			fmt.Sprintf("%d", rep.Operations), fmt.Sprintf("%.5f", rep.Accuracy()))
+		t.AddMetric(benchreport.Metric{Name: g.Name() + "/accuracy", Unit: "ratio",
+			Better: benchreport.HigherIsBetter, Value: rep.Accuracy()})
+		t.AddMetric(benchreport.Metric{Name: g.Name() + "/spurious_aborts", Unit: "count",
+			Better: benchreport.LowerIsBetter, Value: float64(rep.SpuriousAborts)})
 	}
 	return t, nil
 }
 
+// KDEFigure is the result of FigureKDE: the rendered ASCII figure, the
+// two density curves, and the machine-readable timing metrics.
+type KDEFigure struct {
+	Text    string
+	K0, K1  []stats.Point // logic-0 and logic-1 densities
+	Metrics []benchreport.Metric
+}
+
 // FigureKDE generates the measured-timing kernel density estimates of
 // Figures 7 (AND) and 8 (OR): one curve per expected logic level.
-func FigureKDE(p Params, gate string) (string, []stats.Point, []stats.Point, error) {
+func FigureKDE(p Params, gate string) (*KDEFigure, error) {
 	p.normalize()
 	m, err := core.NewMachine(p.observe(core.Options{
 		Seed:            p.Seed,
@@ -375,7 +416,7 @@ func FigureKDE(p Params, gate string) (string, []stats.Point, []stats.Point, err
 		TrainIterations: 4,
 	}))
 	if err != nil {
-		return "", nil, nil, err
+		return nil, err
 	}
 	var g *core.BPGate
 	var figure string
@@ -387,15 +428,15 @@ func FigureKDE(p Params, gate string) (string, []stats.Point, []stats.Point, err
 		g, err = core.NewBPOr(m)
 		figure = "Figure 8: bp/icache OR Gate - Measured Timing KDE"
 	default:
-		return "", nil, nil, fmt.Errorf("evalharness: unknown KDE gate %q", gate)
+		return nil, fmt.Errorf("evalharness: unknown KDE gate %q", gate)
 	}
 	if err != nil {
-		return "", nil, nil, err
+		return nil, err
 	}
 	rng := noise.NewRNG(p.Seed + 7)
 	zeros, ones, err := core.CollectBPTimings(g, p.FigureOps, rng)
 	if err != nil {
-		return "", nil, nil, err
+		return nil, err
 	}
 	// Clip the interrupt tail so the KDE shows the logic-level
 	// boundary, as the paper's figures do.
@@ -408,12 +449,21 @@ func FigureKDE(p Params, gate string) (string, []stats.Point, []stats.Point, err
 		}
 		return out
 	}
-	k0 := stats.KDE(clip(zeros), 4, 60)
-	k1 := stats.KDE(clip(ones), 4, 60)
+	c0, c1 := clip(zeros), clip(ones)
+	k0 := stats.KDE(c0, 4, 60)
+	k1 := stats.KDE(c1, 4, 60)
 	text := "== " + figure + " ==\n-- logic 0 (expected slow reads) --\n" +
 		stats.RenderKDE(k0, 50) +
 		"-- logic 1 (expected fast reads) --\n" +
 		stats.RenderKDE(k1, 50) +
 		fmt.Sprintf("threshold = %d cycles\n", m.Threshold())
-	return text, k0, k1, nil
+	s0, s1 := stats.Summarize(c0), stats.Summarize(c1)
+	ms := []benchreport.Metric{
+		{Name: "timing/logic0/median", Unit: "cycles", Value: s0.Median,
+			Samples: benchreport.Downsample(c0, 256)},
+		{Name: "timing/logic1/median", Unit: "cycles", Value: s1.Median,
+			Samples: benchreport.Downsample(c1, 256)},
+		{Name: "threshold", Unit: "cycles", Value: float64(m.Threshold())},
+	}
+	return &KDEFigure{Text: text, K0: k0, K1: k1, Metrics: ms}, nil
 }

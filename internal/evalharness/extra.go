@@ -3,6 +3,7 @@ package evalharness
 import (
 	"fmt"
 
+	"uwm/internal/benchreport"
 	"uwm/internal/core"
 	"uwm/internal/covert"
 	"uwm/internal/noise"
@@ -66,6 +67,10 @@ func ExtraChannels(p Params) (*Table, error) {
 			fmt.Sprintf("%.5f", rep.ErrorRate()),
 			fmt.Sprintf("%.0f", float64(rep.Cycles)/float64(rep.Bits)),
 			fmt.Sprintf("%.0f", rep.BitsPerSecond(p.ClockHz)))
+		t.AddMetric(benchreport.Metric{Name: c.name + "/error_rate", Unit: "ratio",
+			Better: benchreport.LowerIsBetter, Value: rep.ErrorRate()})
+		t.AddMetric(benchreport.Metric{Name: c.name + "/bits_per_sec", Unit: "bit/s",
+			Better: benchreport.HigherIsBetter, Value: rep.BitsPerSecond(p.ClockHz)})
 	}
 	return t, nil
 }

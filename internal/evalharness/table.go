@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"strings"
 
+	"uwm/internal/benchreport"
 	"uwm/internal/core"
 	"uwm/internal/metrics"
 	"uwm/internal/trace"
@@ -31,10 +32,18 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Metrics is the machine-readable companion of the rendered rows:
+	// every experiment publishes its key numbers here so `uwm-bench
+	// -json` can serialise them and the comparator can diff two runs.
+	Metrics []benchreport.Metric
 }
 
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddMetric appends a structured metric to the table's machine-readable
+// companion.
+func (t *Table) AddMetric(m benchreport.Metric) { t.Metrics = append(t.Metrics, m) }
 
 // Render lays the table out as aligned text.
 func (t *Table) Render() string {

@@ -74,6 +74,39 @@ func TestQuantileInterpolation(t *testing.T) {
 	}
 }
 
+func TestQuantileEdgeCases(t *testing.T) {
+	// n = 1: every quantile is the single sample.
+	one := []float64{42}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := Quantile(one, q); got != 42 {
+			t.Errorf("Quantile([42], %v) = %v", q, got)
+		}
+	}
+	// Duplicate values: interpolation between equal order statistics
+	// must stay exactly on the duplicated value.
+	dup := []float64{1, 5, 5, 5, 9}
+	if got := Quantile(dup, 0.5); got != 5 {
+		t.Errorf("median of duplicates = %v, want 5", got)
+	}
+	if got := Quantile(dup, 0.375); got != 5 {
+		t.Errorf("Quantile(dup, 0.375) = %v, want 5", got)
+	}
+	// p = 0 and p = 1 pin to the extremes, including out-of-range p.
+	xs := []float64{2, 4, 6, 8}
+	if Quantile(xs, 0) != 2 || Quantile(xs, -0.5) != 2 {
+		t.Error("p ≤ 0 must return the minimum")
+	}
+	if Quantile(xs, 1) != 8 || Quantile(xs, 1.5) != 8 {
+		t.Error("p ≥ 1 must return the maximum")
+	}
+	// Exact order-statistic hit (no interpolation): 0.25 over 5
+	// elements lands on index 1 exactly.
+	five := []float64{10, 20, 30, 40, 50}
+	if got := Quantile(five, 0.25); got != 20 {
+		t.Errorf("Quantile(five, 0.25) = %v, want 20", got)
+	}
+}
+
 func TestMedianInt64(t *testing.T) {
 	if m := MedianInt64([]int64{5, 1, 9}); m != 5 {
 		t.Errorf("median = %d", m)

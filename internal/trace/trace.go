@@ -98,6 +98,22 @@ func (k Kind) String() string {
 	}
 }
 
+// ParseKind resolves a kind name (as produced by Kind.String and the
+// JSONL sink) back to its Kind — the inverse mapping the offline trace
+// parser needs. It reports false for unknown names.
+func ParseKind(name string) (Kind, bool) {
+	k, ok := kindByName[name]
+	return k, ok
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for _, k := range AllKinds() {
+		m[k.String()] = k
+	}
+	return m
+}()
+
 // Event is one recorded simulator event.
 type Event struct {
 	Kind  Kind

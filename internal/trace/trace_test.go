@@ -150,3 +150,18 @@ func TestEventString(t *testing.T) {
 		}
 	}
 }
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range AllKinds() {
+		got, ok := ParseKind(k.String())
+		if !ok || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v, true", k.String(), got, ok, k)
+		}
+	}
+	if _, ok := ParseKind("no-such-kind"); ok {
+		t.Error("ParseKind accepted an unknown name")
+	}
+	if _, ok := ParseKind(""); ok {
+		t.Error("ParseKind accepted the empty string")
+	}
+}

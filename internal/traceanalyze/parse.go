@@ -1,0 +1,97 @@
+// Package traceanalyze parses the JSONL event stream written by
+// trace.JSONLSink back into events and computes the offline reports the
+// live path cannot: per-gate timeline reconstruction, speculative-
+// window length distributions versus gate outcome (the paper's §4
+// race), contention detection inside open windows, and an HPC-style
+// detectability summary replayed from the trace. cmd/uwm-trace is the
+// CLI over this package.
+package traceanalyze
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"uwm/internal/trace"
+)
+
+// wireEvent mirrors the JSONL sink's line format.
+type wireEvent struct {
+	Kind  string `json:"kind"`
+	Plane string `json:"plane"`
+	Cycle int64  `json:"cycle"`
+	PC    uint64 `json:"pc"`
+	Addr  uint64 `json:"addr"`
+	Value uint64 `json:"value"`
+	Text  string `json:"text"`
+}
+
+// ParseResult is a decoded trace plus parse diagnostics.
+type ParseResult struct {
+	Events []trace.Event
+	// Truncated reports that the final line was incomplete (a run cut
+	// off mid-write); Events then holds the complete prefix.
+	Truncated bool
+	// Lines is the number of non-blank lines consumed, including a
+	// truncated final one.
+	Lines int
+}
+
+// ParseJSONL decodes a JSONL trace. It tolerates an empty stream
+// (returning zero events) and a truncated final line (returning the
+// complete prefix with Truncated set) — both are what a crashed or
+// killed run leaves behind. A malformed line anywhere else, or an
+// event kind this build does not know, is an error.
+func ParseJSONL(r io.Reader) (*ParseResult, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	res := &ParseResult{}
+	var pendingBad string // a line that failed to decode, held until we know it is final
+	badLineNo := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if pendingBad != "" {
+			return nil, fmt.Errorf("traceanalyze: line %d: malformed event %.60q", badLineNo, pendingBad)
+		}
+		res.Lines++
+		var w wireEvent
+		if err := json.Unmarshal([]byte(line), &w); err != nil {
+			if res.Lines == 1 && strings.Contains(line, "traceEvents") {
+				return nil, fmt.Errorf("traceanalyze: input is a Chrome trace_event file; offline analysis needs the JSONL format (-trace-out with a .jsonl suffix)")
+			}
+			pendingBad, badLineNo = line, res.Lines
+			continue
+		}
+		k, ok := trace.ParseKind(w.Kind)
+		if !ok {
+			return nil, fmt.Errorf("traceanalyze: line %d: unknown event kind %q", res.Lines, w.Kind)
+		}
+		res.Events = append(res.Events, trace.Event{
+			Kind: k, Cycle: w.Cycle, PC: w.PC, Addr: w.Addr, Value: w.Value, Text: w.Text,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traceanalyze: %w", err)
+	}
+	if pendingBad != "" {
+		// The malformed line was the last one: a truncated tail.
+		res.Truncated = true
+	}
+	return res, nil
+}
+
+// ParseFile opens and parses a JSONL trace file.
+func ParseFile(path string) (*ParseResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("traceanalyze: %w", err)
+	}
+	defer f.Close()
+	return ParseJSONL(f)
+}
