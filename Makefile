@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_$(shell date +%Y%m%d-%H%M%S).json
 
-.PHONY: all build test race vet fmt-check ci bench bench-report bench-compare clean
+.PHONY: all build test race vet staticcheck fmt-check ci bench bench-report bench-compare clean
 
 all: build
 
@@ -17,6 +17,15 @@ race:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs when the binary is available (CI installs it; local
+# runs without it just skip).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
 fmt-check:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -25,7 +34,7 @@ fmt-check:
 
 # ci is the gate a pull request must pass: formatting, static checks,
 # a clean build and the full test suite under the race detector.
-ci: fmt-check vet build race
+ci: fmt-check vet staticcheck build race
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

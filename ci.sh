@@ -14,6 +14,13 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== staticcheck =="
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck not installed; skipping (CI installs it)"
+fi
+
 echo "== go build =="
 go build ./...
 

@@ -5,17 +5,23 @@
 // paper's §4 race), contention detection inside open windows, and an
 // HPC-style detectability summary replayed from the trace (§7).
 //
-// Usage:
+// The profile mode rebuilds the virtual-cycle profile from a recording,
+// producing exactly what a live `-cycleprof` session would have written
+// for the same events:
 //
 //	uwm-gates -op tsx_and -truth -trace-out run.jsonl
 //	uwm-trace run.jsonl                     # human-readable report
 //	uwm-trace -format json run.jsonl | jq . # machine-readable report
 //	uwm-trace - < run.jsonl                 # read from stdin
+//	uwm-trace profile run.jsonl                      # top table
+//	uwm-trace profile -format folded run.jsonl       # flamegraph stacks
+//	uwm-trace profile -format pprof -o cyc.pb.gz run.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"uwm/internal/traceanalyze"
@@ -27,11 +33,15 @@ func main() {
 
 // realMain returns main's exit code so tests can drive the CLI.
 func realMain(args []string) int {
+	if len(args) > 0 && args[0] == "profile" {
+		return profileMain(args[1:])
+	}
 	fs := flag.NewFlagSet("uwm-trace", flag.ContinueOnError)
 	format := fs.String("format", "table", "output format: table or json")
 	maxOverlaps := fs.Int("max-overlaps", 8, "contention incidents to list individually (counts stay exact)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: uwm-trace [-format table|json] <trace.jsonl | ->\n")
+		fmt.Fprintf(fs.Output(), "       uwm-trace profile [-format top|folded|pprof] [-top n] [-o file] <trace.jsonl | ->\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -46,22 +56,9 @@ func realMain(args []string) int {
 		return 2
 	}
 
-	path := fs.Arg(0)
-	var (
-		parsed *traceanalyze.ParseResult
-		err    error
-	)
-	if path == "-" {
-		parsed, err = traceanalyze.ParseJSONL(os.Stdin)
-	} else {
-		parsed, err = traceanalyze.ParseFile(path)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "uwm-trace: %v\n", err)
-		return 1
-	}
-	if parsed.Truncated {
-		fmt.Fprintf(os.Stderr, "uwm-trace: warning: truncated final line dropped; analyzing the %d-event prefix\n", len(parsed.Events))
+	parsed, code := parseArg(fs.Arg(0))
+	if parsed == nil {
+		return code
 	}
 
 	report := traceanalyze.Analyze(parsed.Events, traceanalyze.Options{MaxOverlapSamples: *maxOverlaps})
@@ -77,4 +74,87 @@ func realMain(args []string) int {
 		fmt.Print(report.RenderTable())
 	}
 	return 0
+}
+
+// profileMain is the `uwm-trace profile` mode: rebuild the
+// virtual-cycle profile offline from a JSONL recording.
+func profileMain(args []string) int {
+	fs := flag.NewFlagSet("uwm-trace profile", flag.ContinueOnError)
+	format := fs.String("format", "top", "output format: top, folded or pprof")
+	topN := fs.Int("top", 20, "rows in the top table (0 = all)")
+	out := fs.String("o", "", "write to this file instead of stdout")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: uwm-trace profile [-format top|folded|pprof] [-top n] [-o file] <trace.jsonl | ->\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *format {
+	case "top", "folded", "pprof":
+	default:
+		fmt.Fprintf(os.Stderr, "uwm-trace: unknown profile format %q (want top, folded or pprof)\n", *format)
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+
+	parsed, code := parseArg(fs.Arg(0))
+	if parsed == nil {
+		return code
+	}
+	prof := traceanalyze.BuildProfile(parsed.Events)
+	if prof.SpanEvents() == 0 {
+		fmt.Fprintf(os.Stderr, "uwm-trace: warning: recording holds no span events; the profile only covers the program frame\n")
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uwm-trace: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "folded":
+		err = prof.WriteFolded(w)
+	case "pprof":
+		err = prof.WritePprof(w)
+	default:
+		err = prof.WriteTop(w, *topN)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uwm-trace: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// parseArg reads a JSONL recording from the path or stdin ("-"),
+// reporting errors and truncation on stderr. A nil result carries the
+// exit code.
+func parseArg(path string) (*traceanalyze.ParseResult, int) {
+	var (
+		parsed *traceanalyze.ParseResult
+		err    error
+	)
+	if path == "-" {
+		parsed, err = traceanalyze.ParseJSONL(os.Stdin)
+	} else {
+		parsed, err = traceanalyze.ParseFile(path)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uwm-trace: %v\n", err)
+		return nil, 1
+	}
+	if parsed.Truncated {
+		fmt.Fprintf(os.Stderr, "uwm-trace: warning: truncated final line dropped; analyzing the %d-event prefix\n", len(parsed.Events))
+	}
+	return parsed, 0
 }

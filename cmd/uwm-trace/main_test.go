@@ -58,4 +58,76 @@ func TestCLIUsageErrors(t *testing.T) {
 	if code := realMain([]string{filepath.Join(t.TempDir(), "missing.jsonl")}); code != 1 {
 		t.Errorf("missing file: exit %d, want 1", code)
 	}
+	if code := realMain([]string{"profile", "-format", "xml", "x.jsonl"}); code != 2 {
+		t.Errorf("profile bad format: exit %d, want 2", code)
+	}
+	if code := realMain([]string{"profile"}); code != 2 {
+		t.Errorf("profile no args: exit %d, want 2", code)
+	}
+}
+
+// stdinFrom redirects os.Stdin to the given file for one test.
+func stdinFrom(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdin
+	os.Stdin = f
+	t.Cleanup(func() {
+		os.Stdin = old
+		f.Close()
+	})
+}
+
+func TestCLIReadsStdin(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	writeGateTrace(t, path)
+	stdinFrom(t, path)
+	if code := realMain([]string{"-"}); code != 0 {
+		t.Errorf("realMain(-) = %d, want 0", code)
+	}
+}
+
+func TestCLIProfileMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	writeGateTrace(t, path)
+
+	for _, format := range []string{"top", "folded"} {
+		if code := realMain([]string{"profile", "-format", format, path}); code != 0 {
+			t.Errorf("profile -format %s: exit %d, want 0", format, code)
+		}
+	}
+
+	folded := filepath.Join(dir, "cycles.folded")
+	if code := realMain([]string{"profile", "-format", "folded", "-o", folded, path}); code != 0 {
+		t.Fatalf("profile -o: nonzero exit %d", code)
+	}
+	data, err := os.ReadFile(folded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[0] == 0 {
+		t.Fatalf("folded output empty or binary: %q", data[:min(len(data), 40)])
+	}
+
+	pb := filepath.Join(dir, "cycles.pb.gz")
+	if code := realMain([]string{"profile", "-format", "pprof", "-o", pb, path}); code != 0 {
+		t.Fatalf("profile pprof: nonzero exit %d", code)
+	}
+	gz, err := os.ReadFile(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gz) < 2 || gz[0] != 0x1f || gz[1] != 0x8b {
+		t.Fatalf("pprof output is not gzip (magic %x)", gz[:min(len(gz), 2)])
+	}
+
+	// Profile mode must accept stdin too.
+	stdinFrom(t, path)
+	if code := realMain([]string{"profile", "-"}); code != 0 {
+		t.Errorf("profile -: exit %d, want 0", code)
+	}
 }

@@ -73,6 +73,8 @@ type BPGate struct {
 	truth     func(in []int) int
 	// Cached per-block entry labels, so activations allocate nothing.
 	trainT, trainNT, touch, flushB []string
+	// span is the pre-built profiling frame name ("gate:AND").
+	span string
 
 	fires   *metrics.Counter
 	readLat *metrics.Histogram
@@ -111,10 +113,12 @@ func (g *BPGate) RunTimed(in ...int) (int, int64, error) {
 	if len(in) != g.arity {
 		return 0, 0, fmt.Errorf("core: gate %s wants %d inputs, got %d", g.name, g.arity, len(in))
 	}
+	gsp := g.m.BeginSpan(g.span)
 	train, ic := g.wire(in)
 
 	// Write the BP-WRs: execute each block's branch with the desired
 	// direction, TrainIterations times.
+	sp := g.m.BeginSpan(SpanTrain)
 	for blk, dir := range train {
 		if g.m.ns.TrainFail() {
 			continue // training destroyed by aliasing activity
@@ -125,39 +129,52 @@ func (g *BPGate) RunTimed(in ...int) (int, int64, error) {
 		}
 		for i := 0; i < g.m.TrainIterations(); i++ {
 			if _, err := g.m.run(g.prog, entry); err != nil {
+				g.m.EndSpan(gsp)
 				return 0, 0, err
 			}
 		}
 	}
+	g.m.EndSpan(sp)
 
 	// Write the IC-WRs: execute or flush each block's body.
+	sp = g.m.BeginSpan(SpanICWrite)
 	for blk, mode := range ic {
 		entry := g.touch[blk]
 		if mode == icFlushed {
 			entry = g.flushB[blk]
 		}
 		if _, err := g.m.run(g.prog, entry); err != nil {
+			g.m.EndSpan(gsp)
 			return 0, 0, err
 		}
 	}
+	g.m.EndSpan(sp)
 
 	// Reset outputs and the branch-condition lines.
+	sp = g.m.BeginSpan(SpanPrep)
 	if _, err := g.m.run(g.prog, "prep"); err != nil {
+		g.m.EndSpan(gsp)
 		return 0, 0, err
 	}
+	g.m.EndSpan(sp)
 
 	// Unrelated system activity may disturb the gate's lines here.
+	sp = g.m.BeginSpan(SpanFire)
 	for _, line := range g.bodyLines {
 		g.m.perturbCode(line)
 	}
 	g.m.perturbData(g.out)
 
 	if _, err := g.m.run(g.prog, "fire"); err != nil {
+		g.m.EndSpan(gsp)
 		return 0, 0, err
 	}
 	g.m.perturbData(g.out)
+	g.m.EndSpan(sp)
 
+	sp = g.m.BeginSpan(SpanRead)
 	if _, err := g.m.run(g.prog, "read"); err != nil {
+		g.m.EndSpan(gsp)
 		return 0, 0, err
 	}
 	delta := g.m.readDelta()
@@ -165,6 +182,8 @@ func (g *BPGate) RunTimed(in ...int) (int, int64, error) {
 	g.readLat.Observe(float64(delta))
 	bit := g.m.ToBit(delta)
 	g.m.emitTimedRead(g.name, 0, bit, delta, g.out.Addr)
+	g.m.EndSpan(sp)
+	g.m.EndSpan(gsp)
 	return bit, delta, nil
 }
 
@@ -305,6 +324,7 @@ func buildBPGate(m *Machine, name string, blocks []bpBlockSpec, prepCache bool, 
 		prepCache: prepCache,
 		wire:      wire,
 		truth:     truth,
+		span:      "gate:" + name,
 	}
 	for i := range blocks {
 		g.trainT = append(g.trainT, fmt.Sprintf("train%d_t", i))

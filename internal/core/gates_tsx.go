@@ -47,6 +47,9 @@ type TSXGate struct {
 	// setEntries[i][b] caches the input-setter label names so the
 	// per-activation path allocates no strings.
 	setEntries [][2]string
+	// span is the pre-built profiling frame name ("gate:TSX_AND"), so
+	// activations never concatenate strings.
+	span string
 
 	fires   *metrics.Counter
 	readLat *metrics.Histogram
@@ -85,14 +88,18 @@ func (g *TSXGate) FireUses(op isa.Op) bool {
 // WriteInput sets input i's DC-WR to the given bit architecturally
 // (touch or flush), without firing the gate.
 func (g *TSXGate) WriteInput(i, bit int) error {
+	sp := g.m.BeginSpan(SpanWriteInput)
 	_, err := g.m.run(g.prog, g.setEntries[i][bit&1])
+	g.m.EndSpan(sp)
 	return err
 }
 
 // Prep resets the gate's output registers (flushing plain outputs,
 // pre-caching eviction targets) without firing.
 func (g *TSXGate) Prep() error {
+	sp := g.m.BeginSpan(SpanPrep)
 	_, err := g.m.run(g.prog, "prep")
+	g.m.EndSpan(sp)
 	return err
 }
 
@@ -100,23 +107,28 @@ func (g *TSXGate) Prep() error {
 // the cache currently holds. Use WriteInput/Prep first, or compose with
 // other gates' outputs.
 func (g *TSXGate) Fire() error {
+	sp := g.m.BeginSpan(SpanFire)
 	g.fires.Inc()
 	for _, in := range g.ins {
 		g.m.perturbData(in)
 	}
 	if _, err := g.m.run(g.prog, "fire"); err != nil {
+		g.m.EndSpan(sp)
 		return err
 	}
 	for _, out := range g.outs {
 		g.m.perturbData(out)
 	}
+	g.m.EndSpan(sp)
 	return nil
 }
 
 // ReadOutputs performs the transactional timed read of every output and
 // returns the logic values and raw latencies.
 func (g *TSXGate) ReadOutputs() ([]int, []int64, error) {
+	sp := g.m.BeginSpan(SpanRead)
 	if _, err := g.m.run(g.prog, "read"); err != nil {
+		g.m.EndSpan(sp)
 		return nil, nil, err
 	}
 	bits := make([]int, g.outputs)
@@ -130,6 +142,7 @@ func (g *TSXGate) ReadOutputs() ([]int, []int64, error) {
 		g.readLat.Observe(float64(d))
 		g.m.emitTimedRead(g.name, i, bits[i], d, g.outs[i].Addr)
 	}
+	g.m.EndSpan(sp)
 	return bits, deltas, nil
 }
 
@@ -146,18 +159,24 @@ func (g *TSXGate) RunTimed(in ...int) ([]int, []int64, error) {
 	if len(in) != g.arity {
 		return nil, nil, fmt.Errorf("core: gate %s wants %d inputs, got %d", g.name, g.arity, len(in))
 	}
+	sp := g.m.BeginSpan(g.span)
 	for i, bit := range in {
 		if err := g.WriteInput(i, bit); err != nil {
+			g.m.EndSpan(sp)
 			return nil, nil, err
 		}
 	}
 	if err := g.Prep(); err != nil {
+		g.m.EndSpan(sp)
 		return nil, nil, err
 	}
 	if err := g.Fire(); err != nil {
+		g.m.EndSpan(sp)
 		return nil, nil, err
 	}
-	return g.ReadOutputs()
+	bits, deltas, err := g.ReadOutputs()
+	g.m.EndSpan(sp)
+	return bits, deltas, err
 }
 
 // tsxBuild bundles the builder state shared by the constructors.
@@ -253,7 +272,7 @@ func (t *tsxBuild) finish(name string, arity, outputs int, truth func([]int) []i
 	g := &TSXGate{
 		m: t.m, name: name, arity: arity, outputs: outputs,
 		prog: prog, ins: t.ins, outs: t.outs, truth: truth,
-		setEntries: set,
+		setEntries: set, span: "gate:" + name,
 	}
 	g.fires, g.readLat = t.m.gateInstruments(name, "tsx")
 	for _, entry := range []string{"prep", "fire", "read", "prep"} {

@@ -100,6 +100,11 @@ type Machine struct {
 	evictNext mem.Addr
 	threshold int64
 	gateSeq   int
+
+	// Profiling-span state (see spans.go): monotonically increasing span
+	// ids and the stack of currently open frames.
+	spanSeq   uint64
+	spanStack []spanFrame
 }
 
 // NewMachine builds and calibrates a Machine.

@@ -1,0 +1,106 @@
+package core
+
+import "uwm/internal/trace"
+
+// Span instrumentation: every layer of the simulator stack (gates here,
+// circuits in skelly, programs in sha1wm/wmapt) brackets its work in
+// paired span events so the vprof profiler can attribute simulated TSC
+// deltas to a frame hierarchy — program → circuit → gate → component.
+//
+// The API is deliberately id-based rather than closure-based: the hot
+// activation paths must not pay for a defer or an allocation when no
+// sink is attached, so BeginSpan returns 0 immediately in that case and
+// EndSpan(0) is a single branch.
+
+// Component frame names shared by the gate families. The prefix names
+// the simulated component the phase exercises: branch-predictor
+// training, cache-resident input/prep writes, the speculative fire
+// itself, and the timed memory read that decodes the output.
+const (
+	SpanTrain      = "branch:train"
+	SpanICWrite    = "cache:ic-write"
+	SpanWriteInput = "cache:write-input"
+	SpanPrep       = "cache:prep"
+	SpanFire       = "cpu:fire"
+	SpanRead       = "mem:read"
+)
+
+// spanFrame is one open span on the machine's stack.
+type spanFrame struct {
+	id   uint64
+	name string
+}
+
+// BeginSpan opens a profiling frame named name and returns its span id,
+// emitting a KindSpanBegin event whose parent id links the frame to the
+// innermost span still open. It returns 0 — and does no work — when no
+// live sink is attached; pass the result to EndSpan unconditionally.
+//
+// name should be a pre-built string ("gate:AND", "sha1:block"): the
+// call itself never allocates, keeping instrumented hot paths free when
+// tracing is off and cheap when it is on.
+func (m *Machine) BeginSpan(name string) uint64 {
+	s := m.cpu.Sink()
+	if !trace.Enabled(s) {
+		return 0
+	}
+	m.spanSeq++
+	id := m.spanSeq
+	var parent uint64
+	if n := len(m.spanStack); n > 0 {
+		parent = m.spanStack[n-1].id
+	}
+	m.spanStack = append(m.spanStack, spanFrame{id: id, name: name})
+	s.Emit(trace.Event{
+		Kind:  trace.KindSpanBegin,
+		Cycle: m.cpu.TSC(),
+		Addr:  parent,
+		Value: id,
+		Text:  name,
+	})
+	return id
+}
+
+// EndSpan closes the frame opened by BeginSpan. An id of 0 (tracing was
+// off at begin time) is a no-op. Frames nested inside id that are still
+// open are closed at the same cycle — an emitter that error-returned
+// past its children's EndSpan calls still leaves a balanced stream.
+func (m *Machine) EndSpan(id uint64) {
+	if id == 0 {
+		return
+	}
+	// Find the frame; stack ids are strictly increasing, so the scan
+	// can stop early. An id no longer on the stack (already closed by a
+	// parent's EndSpan) is a no-op.
+	idx := -1
+	for n := len(m.spanStack) - 1; n >= 0; n-- {
+		if m.spanStack[n].id == id {
+			idx = n
+			break
+		}
+		if m.spanStack[n].id < id {
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	s := m.cpu.Sink()
+	now := m.cpu.TSC()
+	for n := len(m.spanStack) - 1; n >= idx; n-- {
+		f := m.spanStack[n]
+		if trace.Enabled(s) {
+			s.Emit(trace.Event{
+				Kind:  trace.KindSpanEnd,
+				Cycle: now,
+				Value: f.id,
+				Text:  f.name,
+			})
+		}
+	}
+	m.spanStack = m.spanStack[:idx]
+}
+
+// OpenSpans returns how many profiling frames are currently open —
+// diagnostics for tests asserting balanced instrumentation.
+func (m *Machine) OpenSpans() int { return len(m.spanStack) }

@@ -3,7 +3,9 @@
 // Prometheus text exposition at exit, a -trace-out flag that streams
 // the two-plane event trace to a JSONL or Chrome trace_event file, and
 // a -pprof flag that serves net/http/pprof, expvar and a live /metrics
-// endpoint while the run is in flight.
+// endpoint while the run is in flight, and a -cycleprof flag that
+// attributes the run's *virtual* cycles to profiling spans and writes a
+// pprof or folded-stack profile at exit.
 //
 // The intended shape in a main:
 //
@@ -29,9 +31,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strings"
 
 	"uwm/internal/metrics"
 	"uwm/internal/trace"
+	"uwm/internal/vprof"
 )
 
 // Config selects which observability surfaces a run exposes.
@@ -48,6 +52,11 @@ type Config struct {
 	// mid-run values are monotonic approximations; the exit exposition
 	// (-metrics) is exact.
 	PprofAddr string
+	// CycleProf attributes the run's virtual cycles to span frames and
+	// writes the profile to this file at Close. A .folded/.txt suffix
+	// selects folded flamegraph stacks, anything else a gzip pprof
+	// profile.proto for `go tool pprof`.
+	CycleProf string
 }
 
 // AddFlags registers the shared observability flags on fs.
@@ -55,11 +64,12 @@ func (c *Config) AddFlags(fs *flag.FlagSet) {
 	fs.BoolVar(&c.Metrics, "metrics", false, "print Prometheus text metrics to stdout at exit")
 	fs.StringVar(&c.TraceOut, "trace-out", "", "stream the event trace to this file (.jsonl = JSON lines, else Chrome trace_event JSON for Perfetto)")
 	fs.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. localhost:6060)")
+	fs.StringVar(&c.CycleProf, "cycleprof", "", "write a virtual-cycle profile to this file at exit (.folded/.txt = flamegraph stacks, else gzip pprof profile.proto)")
 }
 
 // Enabled reports whether any observability surface was requested.
 func (c Config) Enabled() bool {
-	return c.Metrics || c.TraceOut != "" || c.PprofAddr != ""
+	return c.Metrics || c.TraceOut != "" || c.PprofAddr != "" || c.CycleProf != ""
 }
 
 // Session is a started observability context. Registry and Sink are
@@ -72,11 +82,16 @@ type Session struct {
 	cfg     Config
 	out     io.Writer // exposition destination, stdout by default
 	traceCl io.Closer
+	prof    *vprof.Profiler
 	srv     *http.Server
 	ln      net.Listener
 	traceN  func() int
 	closed  bool
 }
+
+// Profiler returns the live cycle profiler, or nil when -cycleprof is
+// off.
+func (s *Session) Profiler() *vprof.Profiler { return s.prof }
 
 // Start opens the requested surfaces: the registry (for -metrics and
 // -pprof), the trace file sink, and the debug HTTP listener.
@@ -95,6 +110,10 @@ func Start(cfg Config) (*Session, error) {
 		if c, ok := sink.(interface{ Count() int }); ok {
 			s.traceN = c.Count
 		}
+	}
+	if cfg.CycleProf != "" {
+		s.prof = vprof.New()
+		s.Sink = trace.Tee(s.Sink, s.prof)
 	}
 	if cfg.PprofAddr != "" {
 		if err := s.serve(cfg.PprofAddr); err != nil {
@@ -158,6 +177,16 @@ func (s *Session) Close() error {
 			fmt.Fprintf(os.Stderr, "obs: wrote %d trace events to %s\n", s.traceN(), s.cfg.TraceOut)
 		}
 	}
+	if s.prof != nil {
+		if err := s.writeCycleProf(); err != nil {
+			if first == nil {
+				first = err
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "obs: wrote virtual-cycle profile (%d cycles, %d frames) to %s\n",
+				s.prof.TotalCycles(), s.prof.Frames(), s.cfg.CycleProf)
+		}
+	}
 	if s.srv != nil {
 		if err := s.srv.Close(); err != nil && first == nil {
 			first = err
@@ -169,4 +198,27 @@ func (s *Session) Close() error {
 		}
 	}
 	return first
+}
+
+// writeCycleProf renders the accumulated cycle profile to the
+// -cycleprof file, picking the format from the extension.
+func (s *Session) writeCycleProf() error {
+	f, err := os.Create(s.cfg.CycleProf)
+	if err != nil {
+		return fmt.Errorf("obs: cycleprof: %w", err)
+	}
+	switch {
+	case strings.HasSuffix(s.cfg.CycleProf, ".folded"),
+		strings.HasSuffix(s.cfg.CycleProf, ".txt"):
+		err = s.prof.WriteFolded(f)
+	default:
+		err = s.prof.WritePprof(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("obs: cycleprof: %w", err)
+	}
+	return nil
 }

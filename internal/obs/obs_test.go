@@ -63,6 +63,66 @@ func TestMetricsAndTraceSession(t *testing.T) {
 	}
 }
 
+func TestCycleProfSession(t *testing.T) {
+	emitSpans := func(s trace.Sink) {
+		s.Emit(trace.Event{Kind: trace.KindSpanBegin, Cycle: 10, Value: 1, Text: "gate:AND"})
+		s.Emit(trace.Event{Kind: trace.KindSpanEnd, Cycle: 40, Value: 1, Text: "gate:AND"})
+		s.Emit(trace.Event{Kind: trace.KindCommit, Cycle: 50})
+	}
+
+	t.Run("folded", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "cycles.folded")
+		sess, err := Start(Config{CycleProf: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sess.Sink == nil || sess.Profiler() == nil {
+			t.Fatal("cycleprof session has no sink/profiler")
+		}
+		emitSpans(sess.Sink)
+		if err := sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := "program 20\nprogram;gate:AND 30\n"
+		if string(data) != want {
+			t.Errorf("folded profile = %q, want %q", data, want)
+		}
+	})
+
+	t.Run("pprof-plus-trace", func(t *testing.T) {
+		dir := t.TempDir()
+		prof := filepath.Join(dir, "cycles.pb.gz")
+		tr := filepath.Join(dir, "out.jsonl")
+		sess, err := Start(Config{CycleProf: prof, TraceOut: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		emitSpans(sess.Sink)
+		if err := sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+		gz, err := os.ReadFile(prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gz) < 2 || gz[0] != 0x1f || gz[1] != 0x8b {
+			t.Errorf("pprof profile not gzip: %x", gz[:min(len(gz), 4)])
+		}
+		// The tee must still have fed the trace file.
+		lines, err := os.ReadFile(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := bytes.Count(bytes.TrimSpace(lines), []byte("\n")) + 1; n != 3 {
+			t.Errorf("trace file has %d lines, want 3", n)
+		}
+	})
+}
+
 func TestPprofServesMetrics(t *testing.T) {
 	sess, err := Start(Config{PprofAddr: "127.0.0.1:0"})
 	if err != nil {

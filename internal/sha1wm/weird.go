@@ -51,6 +51,17 @@ func (h *Hasher) Skelly() *skelly.Skelly { return h.sk }
 
 // f computes the round function on weird gates.
 func (h *Hasher) f(t int, b, c, d uint32) (uint32, error) {
+	var sp uint64
+	m := h.sk.Machine()
+	switch {
+	case t < 20:
+		sp = m.BeginSpan("sha1:f-ch")
+	case t < 40, t >= 60:
+		sp = m.BeginSpan("sha1:f-parity")
+	default:
+		sp = m.BeginSpan("sha1:f-maj")
+	}
+	defer m.EndSpan(sp)
 	switch {
 	case t < 20:
 		// Ch(b,c,d) = (b AND c) OR (NOT b AND d): one NOT32 and one
@@ -107,10 +118,14 @@ func (h *Hasher) add(a, b uint32) (uint32, error) {
 
 // compress runs one block of the compression function on weird gates.
 func (h *Hasher) compress(state [5]uint32, block []byte) ([5]uint32, error) {
+	m := h.sk.Machine()
+	bsp := m.BeginSpan("sha1:block")
+	defer m.EndSpan(bsp)
 	var w [80]uint32
 	for i := 0; i < 16; i++ {
 		w[i] = binary.BigEndian.Uint32(block[4*i:])
 	}
+	ssp := m.BeginSpan("sha1:schedule")
 	for i := 16; i < 80; i++ {
 		// w[i] = rotl1(w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]) — three
 		// weird XORs, one wire rotation.
@@ -128,9 +143,11 @@ func (h *Hasher) compress(state [5]uint32, block []byte) ([5]uint32, error) {
 		}
 		w[i] = skelly.RotL32(x, 1)
 	}
+	m.EndSpan(ssp)
 
 	a, b, c, d, e := state[0], state[1], state[2], state[3], state[4]
 	for t := 0; t < 80; t++ {
+		rsp := m.BeginSpan("sha1:round")
 		fv, err := h.f(t, b, c, d)
 		if err != nil {
 			return state, err
@@ -152,6 +169,7 @@ func (h *Hasher) compress(state [5]uint32, block []byte) ([5]uint32, error) {
 			return state, err
 		}
 		e, d, c, b, a = d, c, skelly.RotL32(b, 30), a, tmp
+		m.EndSpan(rsp)
 	}
 
 	var out [5]uint32
@@ -167,6 +185,8 @@ func (h *Hasher) compress(state [5]uint32, block []byte) ([5]uint32, error) {
 
 // Sum computes the SHA-1 digest of msg on the weird machine.
 func (h *Hasher) Sum(msg []byte) ([Size]byte, error) {
+	sp := h.sk.Machine().BeginSpan("sha1:sum")
+	defer h.sk.Machine().EndSpan(sp)
 	var digest [Size]byte
 	state := initState
 	for i, block := range Blocks(Pad(msg)) {

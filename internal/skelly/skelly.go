@@ -86,6 +86,12 @@ type Skelly struct {
 
 	counters map[string]*Counters
 
+	// spanNames maps a primitive gate name to its pre-built skelly-level
+	// profiling frame ("skelly:AND"): the redundancy loop of gateOp is a
+	// distinct cost layer from the gate activations inside it, and the
+	// names are interned here so the hot path never concatenates.
+	spanNames map[string]string
+
 	// Visibility accounting (§5.2): totalOps counts every logical gate
 	// operation; visible counts the results a caller stored into
 	// architecturally visible memory. Composite operations (Xor,
@@ -120,8 +126,10 @@ func New(m *core.Machine, cfg Config) (*Skelly, error) {
 	if s.aao, err = core.NewBPAndAndOr(m); err != nil {
 		return nil, err
 	}
+	s.spanNames = make(map[string]string)
 	for _, g := range []string{"AND", "OR", "NAND", "AND_AND_OR"} {
 		s.counters[g] = &Counters{}
+		s.spanNames[g] = "skelly:" + g
 	}
 	s.registerMetrics(m.Metrics())
 	return s, nil
@@ -223,6 +231,8 @@ func (s *Skelly) VisibleFraction() float64 {
 // gateOp runs one logical operation of gate g with the paper's
 // redundancy scheme and instrumentation.
 func (s *Skelly) gateOp(g *core.BPGate, in ...int) (int, error) {
+	sp := s.m.BeginSpan(s.spanNames[g.Name()])
+	defer s.m.EndSpan(sp)
 	want := g.Golden(in)
 	ctr := s.counters[g.Name()]
 	s.totalOps++
@@ -299,6 +309,8 @@ func (s *Skelly) AndAndOr(a, b, c, d int) (int, error) { return s.gateOp(s.aao, 
 // activations, and only the final AND's output counts as a stored
 // (visible) result.
 func (s *Skelly) Xor(a, b int) (int, error) {
+	sp := s.m.BeginSpan("circuit:xor")
+	defer s.m.EndSpan(sp)
 	or, err := s.Or(a, b)
 	if err != nil {
 		return 0, err
@@ -318,6 +330,8 @@ func (s *Skelly) Xor(a, b int) (int, error) {
 // FullAdder returns (sum, carry) of a+b+cin, built from two weird XORs
 // and one weird AND_AND_OR exactly as §5.2 describes.
 func (s *Skelly) FullAdder(a, b, cin int) (sum, carry int, err error) {
+	sp := s.m.BeginSpan("circuit:fulladder")
+	defer s.m.EndSpan(sp)
 	xab, err := s.Xor(a, b)
 	if err != nil {
 		return 0, 0, err
@@ -359,16 +373,18 @@ func Word32(bits []int) uint32 {
 }
 
 // And32 returns a AND b computed bitwise on weird gates.
-func (s *Skelly) And32(a, b uint32) (uint32, error) { return s.map32(s.And, a, b) }
+func (s *Skelly) And32(a, b uint32) (uint32, error) { return s.map32("circuit:and32", s.And, a, b) }
 
 // Or32 returns a OR b bitwise.
-func (s *Skelly) Or32(a, b uint32) (uint32, error) { return s.map32(s.Or, a, b) }
+func (s *Skelly) Or32(a, b uint32) (uint32, error) { return s.map32("circuit:or32", s.Or, a, b) }
 
 // Xor32 returns a XOR b bitwise.
-func (s *Skelly) Xor32(a, b uint32) (uint32, error) { return s.map32(s.Xor, a, b) }
+func (s *Skelly) Xor32(a, b uint32) (uint32, error) { return s.map32("circuit:xor32", s.Xor, a, b) }
 
 // Not32 returns NOT a bitwise.
 func (s *Skelly) Not32(a uint32) (uint32, error) {
+	sp := s.m.BeginSpan("circuit:not32")
+	defer s.m.EndSpan(sp)
 	bits := Bits32(a)
 	for i, bit := range bits {
 		nb, err := s.Not(bit)
@@ -380,7 +396,9 @@ func (s *Skelly) Not32(a uint32) (uint32, error) {
 	return Word32(bits), nil
 }
 
-func (s *Skelly) map32(op func(int, int) (int, error), a, b uint32) (uint32, error) {
+func (s *Skelly) map32(span string, op func(int, int) (int, error), a, b uint32) (uint32, error) {
+	sp := s.m.BeginSpan(span)
+	defer s.m.EndSpan(sp)
 	ab, bb := Bits32(a), Bits32(b)
 	out := make([]int, 32)
 	for i := range out {
@@ -396,6 +414,8 @@ func (s *Skelly) map32(op func(int, int) (int, error), a, b uint32) (uint32, err
 // Add32 returns a + b (mod 2³²) through a ripple-carry chain of weird
 // full adders; no CPU add instruction touches the operands.
 func (s *Skelly) Add32(a, b uint32) (uint32, error) {
+	sp := s.m.BeginSpan("circuit:add32")
+	defer s.m.EndSpan(sp)
 	ab, bb := Bits32(a), Bits32(b)
 	out := make([]int, 32)
 	carry := 0

@@ -97,6 +97,9 @@ func (s *JSONLSink) Close() error {
 //     spec-start event;
 //   - a TSX region becomes a complete slice from tx-begin to
 //     tx-end/tx-abort, with the outcome in args;
+//   - a profiling span (span-begin/span-end) becomes a duration pair
+//     ("B"/"E") named by its frame, so Perfetto nests gate, circuit and
+//     component bars exactly as the emitters opened them;
 //   - every other event becomes a thread-scoped instant ("i") with the
 //     event payload in args, categorised by plane ("arch"/"uarch") so
 //     the two planes can be toggled independently.
@@ -110,6 +113,11 @@ type ChromeSink struct {
 	txOpen  bool
 	txBegin int64
 	txPC    uint64
+
+	// spanNames maps open span ids to frame names so the "E" record can
+	// repeat the name Perfetto matches visually (span-end events carry
+	// it too, but a truncated begin must not render anonymously).
+	spanNames map[uint64]string
 }
 
 // NewChromeSink wraps w in a trace_event sink and writes the stream
@@ -184,6 +192,27 @@ func (s *ChromeSink) Emit(e Event) {
 			"name": "spec-window", "cat": "uarch", "ph": "X",
 			"ts": e.Cycle, "dur": dur, "pid": 1, "tid": 1,
 			"args": eventArgs(e),
+		})
+	case KindSpanBegin:
+		if s.spanNames == nil {
+			s.spanNames = make(map[uint64]string)
+		}
+		s.spanNames[e.Value] = e.Text
+		s.emitRaw(map[string]any{
+			"name": e.Text, "cat": "uarch", "ph": "B",
+			"ts": e.Cycle, "pid": 1, "tid": 1,
+			"args": map[string]any{"span": e.Value, "parent": e.Addr},
+		})
+	case KindSpanEnd:
+		name := e.Text
+		if n, ok := s.spanNames[e.Value]; ok {
+			name = n
+			delete(s.spanNames, e.Value)
+		}
+		s.emitRaw(map[string]any{
+			"name": name, "cat": "uarch", "ph": "E",
+			"ts": e.Cycle, "pid": 1, "tid": 1,
+			"args": map[string]any{"span": e.Value},
 		})
 	case KindTxBegin:
 		s.txOpen = true

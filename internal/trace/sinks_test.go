@@ -141,6 +141,56 @@ func TestChromeSinkSpans(t *testing.T) {
 	}
 }
 
+func TestChromeSinkSpanPairs(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewChromeSink(&buf)
+	// A gate frame containing a component frame, plus an end whose begin
+	// was truncated away (ring-buffer recording) and carries its own name.
+	s.Emit(Event{Kind: KindSpanBegin, Cycle: 100, Value: 1, Addr: 0, Text: "gate:TSX_AND"})
+	s.Emit(Event{Kind: KindSpanBegin, Cycle: 110, Value: 2, Addr: 1, Text: "cpu:fire"})
+	s.Emit(Event{Kind: KindSpanEnd, Cycle: 150, Value: 2, Text: "cpu:fire"})
+	s.Emit(Event{Kind: KindSpanEnd, Cycle: 200, Value: 1, Text: "gate:TSX_AND"})
+	s.Emit(Event{Kind: KindSpanEnd, Cycle: 210, Value: 99, Text: "gate:lost"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs := chromeEvents(t, buf.Bytes())
+
+	type be struct{ b, e bool }
+	got := map[string]*be{}
+	for _, ev := range evs {
+		ph, _ := ev["ph"].(string)
+		if ph != "B" && ph != "E" {
+			continue
+		}
+		name, _ := ev["name"].(string)
+		p := got[name]
+		if p == nil {
+			p = &be{}
+			got[name] = p
+		}
+		if ph == "B" {
+			p.b = true
+			if name == "cpu:fire" {
+				if args, _ := ev["args"].(map[string]any); args["parent"] != float64(1) {
+					t.Errorf("cpu:fire begin args = %v, want parent=1", ev["args"])
+				}
+			}
+		} else {
+			p.e = true
+		}
+	}
+	for _, name := range []string{"gate:TSX_AND", "cpu:fire"} {
+		if p := got[name]; p == nil || !p.b || !p.e {
+			t.Errorf("span %q missing B/E pair: %+v", name, p)
+		}
+	}
+	// The orphaned end still renders, named from its own payload.
+	if p := got["gate:lost"]; p == nil || !p.e {
+		t.Error("orphaned span-end was dropped or anonymous")
+	}
+}
+
 func TestChromeSinkCommittedTx(t *testing.T) {
 	var buf bytes.Buffer
 	s := NewChromeSink(&buf)

@@ -39,6 +39,8 @@ const (
 	KindCacheFlush             // μarch: line flushed
 	KindTimedRead              // μarch: measured latency value
 	KindNoise                  // μarch: injected noise event
+	KindSpanBegin              // μarch: profiling frame opened (Value=span id, Addr=parent id, Text=frame)
+	KindSpanEnd                // μarch: profiling frame closed (Value=span id, Text=frame)
 
 	kindEnd // sentinel; keep last
 )
@@ -93,6 +95,10 @@ func (k Kind) String() string {
 		return "timed-read"
 	case KindNoise:
 		return "noise"
+	case KindSpanBegin:
+		return "span-begin"
+	case KindSpanEnd:
+		return "span-end"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -115,13 +121,19 @@ var kindByName = func() map[string]Kind {
 }()
 
 // Event is one recorded simulator event.
+//
+// Span events (KindSpanBegin/KindSpanEnd) reuse the scalar fields: Value
+// carries the span id, Addr the parent span id (0 for a root span) and
+// Text the frame name ("gate:TSX_AND", "cpu:fire", ...). The pair with
+// matching ids brackets the virtual cycles the frame consumed — the raw
+// material of the vprof cycle profiler.
 type Event struct {
 	Kind  Kind
 	Cycle int64  // simulated TSC when the event happened
 	PC    uint64 // code address, when applicable
-	Addr  uint64 // data address, when applicable
-	Value uint64 // written value / measured latency, when applicable
-	Text  string // disassembly or free-form detail
+	Addr  uint64 // data address / parent span id, when applicable
+	Value uint64 // written value / measured latency / span id, when applicable
+	Text  string // disassembly, frame name, or free-form detail
 }
 
 // String renders the event for logs.

@@ -27,6 +27,8 @@ var kindTable = []struct {
 	{KindCacheFlush, "cache-flush", false},
 	{KindTimedRead, "timed-read", false},
 	{KindNoise, "noise", false},
+	{KindSpanBegin, "span-begin", false},
+	{KindSpanEnd, "span-end", false},
 }
 
 func TestKindsExhaustive(t *testing.T) {

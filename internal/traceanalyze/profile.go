@@ -1,0 +1,14 @@
+package traceanalyze
+
+import (
+	"uwm/internal/trace"
+	"uwm/internal/vprof"
+)
+
+// BuildProfile replays a decoded event stream through the virtual-cycle
+// profiler, producing the same attribution a live -cycleprof session
+// builds for the identical stream. Span begins whose pair fell off a
+// ring-buffer recording are tolerated (see vprof).
+func BuildProfile(events []trace.Event) *vprof.Profiler {
+	return vprof.FromEvents(events)
+}

@@ -1,0 +1,299 @@
+// Package vprof is the simulator's virtual-time profiler: it attributes
+// simulated TSC deltas to a hierarchy of frames (program → circuit →
+// gate → component) from the paired span events (trace.KindSpanBegin /
+// trace.KindSpanEnd) the instrumented layers emit.
+//
+// A Profiler is a trace.Sink, so it can ride the live event stream of a
+// run (obs wires it behind the -cycleprof flag), and it can equally be
+// fed a JSONL recording decoded by package traceanalyze — the offline
+// path `uwm-trace profile` uses. Both paths produce identical profiles
+// for the same event stream.
+//
+// Three export formats cover the common tooling:
+//
+//   - WritePprof emits a gzip-compressed pprof profile.proto whose
+//     samples are virtual cycles, so `go tool pprof` works unchanged —
+//     top, peek, web, flamegraph — just with simulated time;
+//   - WriteFolded emits folded stacks ("a;b;c 123") for the classic
+//     flamegraph.pl / inferno / speedscope toolchain;
+//   - WriteTop renders a self-contained top-N table.
+//
+// Cycles not covered by any span (machine calibration, gate warm-up,
+// harness glue) stay attributed to the root "program" frame, so the
+// profile total always equals the run's final simulated TSC.
+package vprof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"uwm/internal/trace"
+)
+
+// RootFrame is the name of the synthetic root every stack hangs off.
+const RootFrame = "program"
+
+// node is one frame in the merged call tree. Spans with the same name
+// under the same parent merge, flamegraph-style.
+type node struct {
+	name     string
+	parent   int // index into Profiler.nodes; -1 for the root
+	children map[string]int
+	cum      int64 // cycles covered by spans of this frame (incl. children)
+	count    int64 // spans merged into this node
+}
+
+// openSpan is one frame currently on the span stack.
+type openSpan struct {
+	id    uint64
+	node  int
+	begin int64
+}
+
+// Profiler accumulates span events into a frame tree. The zero value is
+// not usable; call New.
+type Profiler struct {
+	nodes     []node
+	open      []openSpan
+	last      int64 // maximal cycle seen across ALL events
+	spans     int   // span events consumed
+	finalized bool
+}
+
+// New returns an empty profiler whose tree holds only the root frame.
+func New() *Profiler {
+	return &Profiler{nodes: []node{{
+		name: RootFrame, parent: -1, children: map[string]int{}, count: 1,
+	}}}
+}
+
+// FromEvents builds a profile offline from a decoded event stream (a
+// parsed JSONL recording).
+func FromEvents(events []trace.Event) *Profiler {
+	p := New()
+	for _, e := range events {
+		p.Emit(e)
+	}
+	return p
+}
+
+// Enabled implements the optional sink capability: a profiler always
+// observes (it needs every event's cycle to track the run's extent).
+func (p *Profiler) Enabled() bool { return true }
+
+// Emit implements trace.Sink. Non-span events only advance the observed
+// clock; span pairs open and close frames.
+func (p *Profiler) Emit(e trace.Event) {
+	if e.Cycle > p.last {
+		p.last = e.Cycle
+	}
+	switch e.Kind {
+	case trace.KindSpanBegin:
+		p.spans++
+		parent := 0
+		if n := len(p.open); n > 0 {
+			parent = p.open[n-1].node
+		}
+		ni := p.child(parent, e.Text)
+		p.nodes[ni].count++
+		p.open = append(p.open, openSpan{id: e.Value, node: ni, begin: e.Cycle})
+	case trace.KindSpanEnd:
+		p.spans++
+		p.closeSpan(e.Value, e.Cycle)
+	}
+}
+
+// child returns (creating if needed) the child of parent named name.
+func (p *Profiler) child(parent int, name string) int {
+	if ni, ok := p.nodes[parent].children[name]; ok {
+		return ni
+	}
+	ni := len(p.nodes)
+	p.nodes = append(p.nodes, node{name: name, parent: parent, children: map[string]int{}})
+	p.nodes[parent].children[name] = ni
+	return ni
+}
+
+// closeSpan pops the stack down to (and including) the frame with the
+// given id, accumulating each popped frame's duration. An id not on the
+// stack — its begin fell out of a ring-buffer recording, or it was
+// closed together with a parent — is ignored.
+func (p *Profiler) closeSpan(id uint64, cycle int64) {
+	idx := -1
+	for n := len(p.open) - 1; n >= 0; n-- {
+		if p.open[n].id == id {
+			idx = n
+			break
+		}
+		if p.open[n].id < id {
+			break // ids are monotonic: id cannot be deeper
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	for n := len(p.open) - 1; n >= idx; n-- {
+		o := p.open[n]
+		if d := cycle - o.begin; d > 0 {
+			p.nodes[o.node].cum += d
+		}
+	}
+	p.open = p.open[:idx]
+}
+
+// finalize closes frames left open (a truncated recording) at the last
+// observed cycle and pins the root's cumulative time to the full run
+// extent, so unattributed cycles surface as root self time.
+func (p *Profiler) finalize() {
+	if p.finalized {
+		return
+	}
+	p.finalized = true
+	for n := len(p.open) - 1; n >= 0; n-- {
+		o := p.open[n]
+		if d := p.last - o.begin; d > 0 {
+			p.nodes[o.node].cum += d
+		}
+	}
+	p.open = nil
+	p.nodes[0].cum = p.last
+}
+
+// selfCycles returns each node's self time: cumulative minus children,
+// clamped at zero (merged spans can overlap pathologically in a
+// hand-edited trace; the profile must still be well-formed).
+func (p *Profiler) selfCycles() []int64 {
+	self := make([]int64, len(p.nodes))
+	for i, n := range p.nodes {
+		s := n.cum
+		for _, c := range n.children {
+			s -= p.nodes[c].cum
+		}
+		if s < 0 {
+			s = 0
+		}
+		self[i] = s
+	}
+	return self
+}
+
+// TotalCycles returns the profile's extent: the largest simulated TSC
+// observed across every event — for a live session, the run's final
+// simulated timestamp.
+func (p *Profiler) TotalCycles() int64 { return p.last }
+
+// SpanEvents returns how many span events were consumed.
+func (p *Profiler) SpanEvents() int { return p.spans }
+
+// Frames returns the number of distinct frames in the merged tree,
+// including the root.
+func (p *Profiler) Frames() int { return len(p.nodes) }
+
+// stack returns the root-to-leaf frame names for a node.
+func (p *Profiler) stack(ni int) []string {
+	var rev []string
+	for i := ni; i >= 0; i = p.nodes[i].parent {
+		rev = append(rev, p.nodes[i].name)
+	}
+	out := make([]string, len(rev))
+	for i, s := range rev {
+		out[len(rev)-1-i] = s
+	}
+	return out
+}
+
+// WriteFolded emits the profile as folded stacks — one line per frame
+// with nonzero self time, "root;frame;...;leaf selfcycles" — the input
+// format of flamegraph.pl, inferno and speedscope. Lines are sorted so
+// the output is deterministic and diffable (the live-vs-offline
+// equality the tests pin down).
+func (p *Profiler) WriteFolded(w io.Writer) error {
+	p.finalize()
+	self := p.selfCycles()
+	lines := make([]string, 0, len(p.nodes))
+	for i := range p.nodes {
+		if self[i] == 0 {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("%s %d", strings.Join(p.stack(i), ";"), self[i]))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flatRow is one aggregated row of the top table.
+type flatRow struct {
+	name      string
+	flat, cum int64
+	count     int64
+}
+
+// topRows aggregates self and cumulative cycles by frame name, the way
+// pprof -top aggregates by function. Sorted by flat descending, then
+// name for determinism.
+func (p *Profiler) topRows() []flatRow {
+	p.finalize()
+	self := p.selfCycles()
+	byName := map[string]*flatRow{}
+	order := []string{}
+	for i, n := range p.nodes {
+		r := byName[n.name]
+		if r == nil {
+			r = &flatRow{name: n.name}
+			byName[n.name] = r
+			order = append(order, n.name)
+		}
+		r.flat += self[i]
+		r.cum += n.cum
+		r.count += n.count
+	}
+	rows := make([]flatRow, 0, len(order))
+	for _, name := range order {
+		rows = append(rows, *byName[name])
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].flat != rows[j].flat {
+			return rows[i].flat > rows[j].flat
+		}
+		return rows[i].name < rows[j].name
+	})
+	return rows
+}
+
+// WriteTop renders the top-n frames by self (flat) virtual cycles, in
+// the familiar pprof -top shape plus a span count column. n <= 0 means
+// all frames.
+func (p *Profiler) WriteTop(w io.Writer, n int) error {
+	rows := p.topRows()
+	total := p.TotalCycles()
+	if n <= 0 || n > len(rows) {
+		n = len(rows)
+	}
+	fmt.Fprintf(w, "== virtual-cycle profile ==\n")
+	fmt.Fprintf(w, "total: %d cycles, %d frames, %d span events\n",
+		total, p.Frames(), p.SpanEvents())
+	fmt.Fprintf(w, "%12s %7s %7s %12s %7s %9s  %s\n",
+		"flat", "flat%", "sum%", "cum", "cum%", "spans", "frame")
+	pct := func(v int64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(v) / float64(total)
+	}
+	var running int64
+	for _, r := range rows[:n] {
+		running += r.flat
+		if _, err := fmt.Fprintf(w, "%12d %6.2f%% %6.2f%% %12d %6.2f%% %9d  %s\n",
+			r.flat, pct(r.flat), pct(running), r.cum, pct(r.cum), r.count, r.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

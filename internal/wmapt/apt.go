@@ -197,6 +197,8 @@ var ErrNotInstalled = errors.New("wmapt: no payload installed")
 // paper's: some bits come back wrong, which is why triggers need
 // multiple pings.
 func (a *APT) weirdXORBit(c, k int) (int, error) {
+	sp := a.m.BeginSpan("gate:TSX_XOR")
+	defer a.m.EndSpan(sp)
 	if err := a.xor.WriteInput(0, c); err != nil {
 		return 0, err
 	}
@@ -220,6 +222,8 @@ func (a *APT) weirdXORBit(c, k int) (int, error) {
 // through the weird circuit, writing the result over the leading
 // random bytes (Figure 4's overwrite).
 func (a *APT) transform(ping otp.Pad) error {
+	sp := a.m.BeginSpan("apt:transform")
+	defer a.m.EndSpan(sp)
 	a.tries++
 	cipherText := a.region[offXorText:offDivZero]
 	result := a.region[offResult:offXorText]
@@ -247,6 +251,8 @@ func (a *APT) HandlePing(ping otp.Pad) (*Result, error) {
 		res := a.lastRes
 		return &res, nil
 	}
+	sp := a.m.BeginSpan("apt:ping")
+	defer a.m.EndSpan(sp)
 	a.pings++
 	for attempt := 0; attempt < a.evalN; attempt++ {
 		if err := a.transform(ping); err != nil {
