@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_$(shell date +%Y%m%d-%H%M%S).json
 
-.PHONY: all build test race vet staticcheck fmt-check ci bench bench-report bench-compare clean
+.PHONY: all build test race vet staticcheck fmt-check ci serve-smoke bench bench-report bench-compare clean
 
 all: build
 
@@ -33,8 +33,23 @@ fmt-check:
 	fi
 
 # ci is the gate a pull request must pass: formatting, static checks,
-# a clean build and the full test suite under the race detector.
-ci: fmt-check vet staticcheck build race
+# a clean build, the full test suite under the race detector, and the
+# job-service smoke test.
+ci: fmt-check vet staticcheck build race serve-smoke
+
+# serve-smoke boots uwm-serve on an ephemeral port, runs the example
+# client against it, and asserts a clean SIGTERM drain (exit 0).
+serve-smoke:
+	@tmpdir="$$(mktemp -d)"; \
+	trap 'rm -rf "$$tmpdir"' EXIT; \
+	$(GO) build -o "$$tmpdir/uwm-serve" ./cmd/uwm-serve; \
+	"$$tmpdir/uwm-serve" -addr 127.0.0.1:0 -addr-file "$$tmpdir/addr" & \
+	serve_pid=$$!; \
+	i=0; while [ ! -s "$$tmpdir/addr" ]; do \
+		i=$$((i + 1)); [ "$$i" -gt 100 ] && exit 1; sleep 0.1; \
+	done; \
+	$(GO) run ./examples/serve -addr "$$(cat "$$tmpdir/addr")" && \
+	kill -TERM "$$serve_pid" && wait "$$serve_pid"
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -27,6 +27,26 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== uwm-serve smoke =="
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/uwm-serve" ./cmd/uwm-serve
+"$tmpdir/uwm-serve" -addr 127.0.0.1:0 -addr-file "$tmpdir/addr" &
+serve_pid=$!
+i=0
+while [ ! -s "$tmpdir/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "uwm-serve never wrote its address file"
+		kill "$serve_pid" 2>/dev/null || true
+		exit 1
+	fi
+	sleep 0.1
+done
+go run ./examples/serve -addr "$(cat "$tmpdir/addr")"
+kill -TERM "$serve_pid"
+wait "$serve_pid" # set -e: a non-zero exit here means the drain was not clean
+
 echo "== bench report (quick sizes) =="
 go run ./cmd/uwm-bench -all -repeat 5 -json BENCH_ci.json >/dev/null
 

@@ -52,6 +52,7 @@ func realMain(args []string) int {
 		figureN   = fs.Int("figure", 0, "reproduce one figure (6,7,8)")
 		ablation  = fs.Bool("ablation", false, "run design-choice ablations")
 		extra     = fs.Bool("extra", false, "run extension experiments (WR covert-channel capacities)")
+		engineF   = fs.Bool("engine", false, "run the concurrent-engine throughput and vote-accuracy experiment")
 		all       = fs.Bool("all", false, "reproduce every table and figure")
 		full      = fs.Bool("full", false, "use the paper's experiment sizes (slow)")
 		record    = fs.Bool("record", false, "use the EXPERIMENTS.md recording sizes (paper-sized where cheap)")
@@ -87,7 +88,7 @@ func realMain(args []string) int {
 		fmt.Fprintln(os.Stderr, "uwm-bench: -all already selects every table and figure; drop -table/-figure")
 		return 2
 	}
-	if !*all && *tableN == 0 && *figureN == 0 && !*ablation && !*extra {
+	if !*all && *tableN == 0 && *figureN == 0 && !*ablation && !*extra && !*engineF {
 		fs.Usage()
 		return 2
 	}
@@ -129,6 +130,8 @@ func realMain(args []string) int {
 			return *ablation
 		case r.Name == "extra":
 			return *extra
+		case r.Name == "engine":
+			return *engineF
 		}
 		return false
 	}

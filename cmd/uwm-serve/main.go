@@ -1,0 +1,151 @@
+// Command uwm-serve exposes the concurrent weird-machine execution
+// engine as a JSON-over-HTTP job service.
+//
+// Usage:
+//
+//	uwm-serve                                  # 2 workers on localhost:8080
+//	uwm-serve -workers 4 -queue 128            # bigger pool, deeper queue
+//	uwm-serve -attempts 3 -vote 2              # vote-of-3 redundancy per job
+//	uwm-serve -addr 127.0.0.1:0 -addr-file a   # ephemeral port, written to a
+//	uwm-serve -metrics -trace-out run.jsonl    # observability surfaces
+//
+// Submit work with plain HTTP:
+//
+//	curl -X POST localhost:8080/v1/jobs?wait=1 \
+//	     -d '{"type":"gate","params":{"gate":"TSX_XOR"}}'
+//
+// SIGINT/SIGTERM drains gracefully: intake stops, queued and in-flight
+// jobs finish (bounded by -drain-timeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"uwm/internal/engine"
+	"uwm/internal/engine/httpapi"
+	"uwm/internal/metrics"
+	"uwm/internal/obs"
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	os.Exit(realMain(os.Args[1:], sigs))
+}
+
+// realMain returns main's exit code so tests can drive the full
+// lifecycle — ephemeral port, live requests, signal-triggered drain —
+// in-process: 0 ok, 1 runtime error, 2 usage error.
+func realMain(args []string, sigs <-chan os.Signal) int {
+	fs := flag.NewFlagSet("uwm-serve", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "localhost:8080", "HTTP listen address (host:0 picks an ephemeral port)")
+		addrFile = fs.String("addr-file", "", "write the bound address to this file once listening")
+		workers  = fs.Int("workers", 2, "worker pool size; each worker pins one weird machine")
+		queue    = fs.Int("queue", 64, "submission queue depth; a full queue answers 429")
+		seed     = fs.Uint64("seed", 2021, "root seed per-job sub-seeds derive from")
+		train    = fs.Int("train", 4, "BP gate training iterations per activation")
+		attempts = fs.Int("attempts", 1, "default redundant executions per job")
+		vote     = fs.Int("vote", 1, "default agreement count a result needs to win early")
+		timeout  = fs.Duration("timeout", 60*time.Second, "default per-job execution deadline")
+		drain    = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for queued and in-flight jobs")
+	)
+	var obsCfg obs.Config
+	obsCfg.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	sess, err := obs.Start(obsCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uwm-serve:", err)
+		return 1
+	}
+	defer sess.Close()
+
+	// The service always keeps a registry so /metrics works even
+	// without -metrics (which additionally prints the exposition at
+	// exit, via the session's registry).
+	reg := sess.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+
+	eng, err := engine.New(engine.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		Seed:            *seed,
+		TrainIterations: *train,
+		Retry:           engine.RetryPolicy{Attempts: *attempts, Vote: *vote},
+		DefaultTimeout:  *timeout,
+		Metrics:         reg,
+		Sink:            sess.Sink,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uwm-serve:", err)
+		return 1
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", httpapi.New(eng))
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WriteText(w)
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uwm-serve:", err)
+		return 1
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "uwm-serve:", err)
+			ln.Close()
+			return 1
+		}
+	}
+	srv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "uwm-serve: %d workers (seed %d), queue %d, listening on http://%s/\n",
+		eng.Workers(), eng.Seed(), *queue, ln.Addr())
+
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "uwm-serve: %v: draining (timeout %s)\n", sig, *drain)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "uwm-serve:", err)
+		eng.Close(context.Background())
+		return 1
+	}
+
+	// Drain order matters: stop intake at the edge first so no new
+	// jobs arrive, then let the engine finish what it holds.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+		fmt.Fprintln(os.Stderr, "uwm-serve: http shutdown:", err)
+		code = 1
+	}
+	if err := eng.Close(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "uwm-serve: engine drain:", err)
+		code = 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "uwm-serve:", err)
+		code = 1
+	}
+	return code
+}

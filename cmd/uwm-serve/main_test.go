@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeLifecycle drives the binary's whole life in-process: boot
+// on an ephemeral port, serve a synchronous job and a health check,
+// then drain cleanly on SIGTERM with exit code 0.
+func TestServeLifecycle(t *testing.T) {
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	sigs := make(chan os.Signal, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain([]string{
+			"-addr", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-workers", "2",
+			"-queue", "8",
+			"-drain-timeout", "30s",
+		}, sigs)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(60 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("server never wrote its address file")
+		}
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			addr = string(b)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/v1/jobs?wait=1", "application/json",
+		strings.NewReader(`{"type":"gate","params":{"gate":"TSX_XOR","random":4}}`))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status %d, want 200", resp.StatusCode)
+	}
+	var snap struct {
+		Status string          `json:"status"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	resp.Body.Close()
+	if snap.Status != "done" || len(snap.Result) == 0 {
+		t.Fatalf("job did not complete: %+v", snap)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d after SIGTERM, want 0", code)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still answering after drain")
+	}
+}
+
+// TestServeBadFlags keeps the usage exit code stable.
+func TestServeBadFlags(t *testing.T) {
+	if code := realMain([]string{"-no-such-flag"}, make(chan os.Signal)); code != 2 {
+		t.Errorf("exit code %d for bad flags, want 2", code)
+	}
+}

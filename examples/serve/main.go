@@ -1,0 +1,122 @@
+// Serving weird-machine jobs over HTTP: submit a SHA-1 weird-hash job
+// asynchronously, poll it to completion, and print the voted digest
+// next to the architectural reference.
+//
+//	go run ./examples/serve                      # self-hosted demo
+//	go run ./examples/serve -addr localhost:8080 # against a running uwm-serve
+//
+// With no -addr the example hosts the service in-process on an
+// ephemeral port first (the same engine+httpapi stack cmd/uwm-serve
+// wires up), so it runs out of the box.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"uwm/internal/engine"
+	"uwm/internal/engine/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", "", "uwm-serve address; empty self-hosts an in-process service")
+	msg := flag.String("message", "computing with time", "message to hash on the weird machine")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		var shutdown func()
+		var err error
+		base, shutdown, err = selfHost()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+		fmt.Printf("self-hosted uwm-serve stack on %s\n", base)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Submit asynchronously: vote-of-2-out-of-3 redundant hashes, so a
+	// gate error in one attempt is outvoted by the two clean ones.
+	body := fmt.Sprintf(`{"type":"sha1","params":{"message":%q},"attempts":3,"vote":2}`, *msg)
+	resp, err := client.Post("http://"+base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var snap struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Error  string `json:"error"`
+		Result *struct {
+			Value    json.RawMessage `json:"value"`
+			Attempts int             `json:"attempts"`
+			Votes    int             `json:"votes"`
+			Quorum   bool            `json:"quorum"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("submitted %s (%d): status %q\n", snap.ID, resp.StatusCode, snap.Status)
+
+	// Poll until the job is terminal.
+	for snap.Status == "queued" || snap.Status == "running" {
+		time.Sleep(100 * time.Millisecond)
+		resp, err := client.Get("http://" + base + "/v1/jobs/" + snap.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("  poll: %s\n", snap.Status)
+	}
+
+	if snap.Status != "done" || snap.Result == nil {
+		log.Fatalf("job finished %s: %s", snap.Status, snap.Error)
+	}
+	var res struct {
+		Digest    string `json:"digest"`
+		Reference string `json:"reference"`
+		Match     bool   `json:"match"`
+		GateOps   uint64 `json:"gate_ops"`
+	}
+	if err := json.Unmarshal(snap.Result.Value, &res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nweird SHA-1(%q)\n", *msg)
+	fmt.Printf("  digest:    %s\n", res.Digest)
+	fmt.Printf("  reference: %s\n", res.Reference)
+	fmt.Printf("  match: %v after %d gate ops; %d/%d attempts agreed (quorum %v)\n",
+		res.Match, res.GateOps, snap.Result.Votes, snap.Result.Attempts, snap.Result.Quorum)
+}
+
+// selfHost stands up the engine + HTTP API on an ephemeral port.
+func selfHost() (addr string, shutdown func(), err error) {
+	eng, err := engine.New(engine.Config{Workers: 2})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: httpapi.New(eng)}
+	go srv.Serve(ln)
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		eng.Close(ctx)
+	}
+	return ln.Addr().String(), shutdown, nil
+}

@@ -170,6 +170,14 @@ func (m *Machine) Mem() *mem.Memory { return m.mem }
 // Noise returns the machine's noise source.
 func (m *Machine) Noise() *noise.Source { return m.ns }
 
+// ReseedNoise repositions the machine's noise stream to the given
+// seed. Machines have no Reset — microarchitectural state (caches,
+// predictors, the TSC) accumulates for their whole life — but the
+// noise stream can be re-pinned, which is what lets a worker pool
+// derive per-job sub-seeds: a job's injected noise then depends only
+// on its own seed, not on which jobs the machine ran before it.
+func (m *Machine) ReseedNoise(seed uint64) { m.ns.Reseed(seed) }
+
 // Threshold returns the calibrated hit/miss timing boundary in cycles
 // (the paper's TIMING_THRESHOLD).
 func (m *Machine) Threshold() int64 { return m.threshold }

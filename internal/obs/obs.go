@@ -23,6 +23,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -32,6 +33,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"uwm/internal/metrics"
 	"uwm/internal/trace"
@@ -188,7 +190,19 @@ func (s *Session) Close() error {
 		}
 	}
 	if s.srv != nil {
-		if err := s.srv.Close(); err != nil && first == nil {
+		// Drain rather than sever: Shutdown stops the listener first
+		// (releasing the port for the next run immediately) and then
+		// lets in-flight scrapes — a Prometheus pull of /metrics, a
+		// pprof profile download — finish before returning. The
+		// deadline bounds a scrape that never completes; past it the
+		// hard Close severs whatever is left.
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		err := s.srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			err = s.srv.Close()
+		}
+		if err != nil && first == nil {
 			first = err
 		}
 	}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"testing"
+)
+
+// TestCloseReleasesPprofPort checks the graceful-shutdown path: after
+// Close returns, the debug listener's port must be immediately
+// bindable again (back-to-back runs with a fixed -pprof address must
+// not race the old listener), and the endpoint must stop answering.
+func TestCloseReleasesPprofPort(t *testing.T) {
+	sess, err := Start(Config{PprofAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := sess.Addr()
+	if addr == "" {
+		t.Fatal("session has no debug address")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("pre-close scrape: %v", err)
+	}
+	resp.Body.Close()
+
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port %s not released after Close: %v", addr, err)
+	}
+	ln.Close()
+
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("debug endpoint still answering after Close")
+	}
+}
+
+// TestCloseTwiceAfterServe guards the idempotence of Close on the
+// serving path (the first call shuts the server down, the second must
+// be a no-op, not a double-close error).
+func TestCloseTwiceAfterServe(t *testing.T) {
+	sess, err := Start(Config{PprofAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -105,6 +105,11 @@ type Skelly struct {
 	// vote that disagrees with the truth table — a diagnostics hook
 	// for experiments that want to localize gate failures.
 	OnVoteError func(gate string, in []int, got, want int)
+
+	// checkpoint, when set, is polled before every logical gate
+	// operation; a non-nil return abandons the circuit with that
+	// error. See SetCheckpoint.
+	checkpoint func() error
 }
 
 // New builds the library's gates on the given machine.
@@ -228,9 +233,22 @@ func (s *Skelly) VisibleFraction() float64 {
 	return float64(s.visible) / float64(s.totalOps)
 }
 
+// SetCheckpoint installs (or, with nil, removes) a cancellation poll
+// invoked at every gate boundary: long-running circuits — a SHA-1
+// compression is ~21k gate operations — abandon cleanly between gate
+// activations instead of only between circuits. The canonical
+// checkpoint is a context.Context's Err method, which is how the job
+// engine enforces per-job deadlines.
+func (s *Skelly) SetCheckpoint(fn func() error) { s.checkpoint = fn }
+
 // gateOp runs one logical operation of gate g with the paper's
 // redundancy scheme and instrumentation.
 func (s *Skelly) gateOp(g *core.BPGate, in ...int) (int, error) {
+	if s.checkpoint != nil {
+		if err := s.checkpoint(); err != nil {
+			return 0, err
+		}
+	}
 	sp := s.m.BeginSpan(s.spanNames[g.Name()])
 	defer s.m.EndSpan(sp)
 	want := g.Golden(in)
