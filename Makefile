@@ -34,22 +34,30 @@ fmt-check:
 
 # ci is the gate a pull request must pass: formatting, static checks,
 # a clean build, the full test suite under the race detector, and the
-# job-service smoke test.
-ci: fmt-check vet staticcheck build race serve-smoke
+# job-service and gate-health smoke tests.
+ci: fmt-check vet staticcheck build race serve-smoke health-smoke
 
 # serve-smoke boots uwm-serve on an ephemeral port, runs the example
-# client against it, and asserts a clean SIGTERM drain (exit 0).
+# client and a one-shot uwm-top against it, and asserts a clean SIGTERM
+# drain (exit 0).
 serve-smoke:
 	@tmpdir="$$(mktemp -d)"; \
 	trap 'rm -rf "$$tmpdir"' EXIT; \
 	$(GO) build -o "$$tmpdir/uwm-serve" ./cmd/uwm-serve; \
+	$(GO) build -o "$$tmpdir/uwm-top" ./cmd/uwm-top; \
 	"$$tmpdir/uwm-serve" -addr 127.0.0.1:0 -addr-file "$$tmpdir/addr" & \
 	serve_pid=$$!; \
 	i=0; while [ ! -s "$$tmpdir/addr" ]; do \
 		i=$$((i + 1)); [ "$$i" -gt 100 ] && exit 1; sleep 0.1; \
 	done; \
 	$(GO) run ./examples/serve -addr "$$(cat "$$tmpdir/addr")" && \
+	"$$tmpdir/uwm-top" -addr "http://$$(cat "$$tmpdir/addr")" -once >/dev/null && \
 	kill -TERM "$$serve_pid" && wait "$$serve_pid"
+
+# health-smoke runs the deterministic drift-and-recalibrate scenario:
+# drifted noise flagged, exactly one recalibration, live == offline.
+health-smoke:
+	$(GO) test -run 'TestWorkerDriftRecalibration' -count=1 ./internal/engine
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

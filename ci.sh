@@ -31,6 +31,7 @@ echo "== uwm-serve smoke =="
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/uwm-serve" ./cmd/uwm-serve
+go build -o "$tmpdir/uwm-top" ./cmd/uwm-top
 "$tmpdir/uwm-serve" -addr 127.0.0.1:0 -addr-file "$tmpdir/addr" &
 serve_pid=$!
 i=0
@@ -44,11 +45,21 @@ while [ ! -s "$tmpdir/addr" ]; do
 	sleep 0.1
 done
 go run ./examples/serve -addr "$(cat "$tmpdir/addr")"
+"$tmpdir/uwm-top" -addr "http://$(cat "$tmpdir/addr")" -once >/dev/null
 kill -TERM "$serve_pid"
 wait "$serve_pid" # set -e: a non-zero exit here means the drain was not clean
 
+echo "== gate-health smoke =="
+# The deterministic drift scenario: a drifted-noise machine must be
+# flagged by its worker's monitor and recover via exactly one
+# recalibration, with live and offline verdicts agreeing.
+go test -run 'TestWorkerDriftRecalibration' -count=1 ./internal/engine
+
 echo "== bench report (quick sizes) =="
 go run ./cmd/uwm-bench -all -repeat 5 -json BENCH_ci.json >/dev/null
+
+echo "== gate-health bench report =="
+go run ./cmd/uwm-bench -health -json BENCH_health.json >/dev/null
 
 baseline="$(ls bench/BENCH_*.json 2>/dev/null | sort | tail -n 1)"
 if [ -n "$baseline" ]; then

@@ -53,6 +53,7 @@ func realMain(args []string) int {
 		ablation  = fs.Bool("ablation", false, "run design-choice ablations")
 		extra     = fs.Bool("extra", false, "run extension experiments (WR covert-channel capacities)")
 		engineF   = fs.Bool("engine", false, "run the concurrent-engine throughput and vote-accuracy experiment")
+		healthF   = fs.Bool("health", false, "run the gate-health experiment (accuracy and margin vs injected noise)")
 		all       = fs.Bool("all", false, "reproduce every table and figure")
 		full      = fs.Bool("full", false, "use the paper's experiment sizes (slow)")
 		record    = fs.Bool("record", false, "use the EXPERIMENTS.md recording sizes (paper-sized where cheap)")
@@ -88,7 +89,7 @@ func realMain(args []string) int {
 		fmt.Fprintln(os.Stderr, "uwm-bench: -all already selects every table and figure; drop -table/-figure")
 		return 2
 	}
-	if !*all && *tableN == 0 && *figureN == 0 && !*ablation && !*extra && !*engineF {
+	if !*all && *tableN == 0 && *figureN == 0 && !*ablation && !*extra && !*engineF && !*healthF {
 		fs.Usage()
 		return 2
 	}
@@ -132,6 +133,8 @@ func realMain(args []string) int {
 			return *extra
 		case r.Name == "engine":
 			return *engineF
+		case r.Name == "health":
+			return *healthF
 		}
 		return false
 	}

@@ -1,0 +1,204 @@
+// Command uwm-top is a live terminal view of a running uwm-serve: it
+// polls the service's /healthz, /v1/health/detail and /metrics
+// endpoints and renders per-worker gate health — timing-margin
+// histograms, drift verdicts, calibration counts — next to the pool's
+// throughput counters.
+//
+//	uwm-serve -addr :8080 &
+//	uwm-top -addr http://localhost:8080             # refresh every 2s
+//	uwm-top -addr http://localhost:8080 -once       # one snapshot, no TUI
+//
+// The per-worker panels are rendered by the same code the offline
+// `uwm-trace -health` mode uses, so an operator watching uwm-top and an
+// engineer replaying the recorded trace read identical pictures.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"uwm/internal/health"
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	os.Exit(realMain(os.Args[1:], os.Stdout, sigs))
+}
+
+// healthzView mirrors the fields of the httpapi healthz body this
+// console displays; decoding into a local struct keeps uwm-top a pure
+// HTTP client with no engine dependency.
+type healthzView struct {
+	Status          string `json:"status"`
+	Workers         int    `json:"workers"`
+	HealthyWorkers  int    `json:"healthy_workers"`
+	DriftingWorkers int    `json:"drifting_workers"`
+	QueueDepth      int    `json:"queue_depth"`
+	QueueCapacity   int    `json:"queue_capacity"`
+	Inflight        int    `json:"inflight"`
+	Submitted       int64  `json:"submitted"`
+}
+
+// workerView mirrors engine.WorkerHealth.
+type workerView struct {
+	Worker   int             `json:"worker"`
+	Snapshot health.Snapshot `json:"health"`
+}
+
+// realMain returns main's exit code so tests can drive the CLI.
+func realMain(args []string, out io.Writer, sigs <-chan os.Signal) int {
+	fs := flag.NewFlagSet("uwm-top", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the uwm-serve instance")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	once := fs.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+	width := fs.Int("width", 48, "histogram bar width in characters")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: uwm-top [-addr url] [-interval d] [-once]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return 2
+	}
+	base := strings.TrimRight(*addr, "/")
+
+	for {
+		frame, err := renderFrame(base, *width)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uwm-top: %v\n", err)
+			if *once {
+				return 1
+			}
+		} else {
+			if !*once {
+				fmt.Fprint(out, "\x1b[H\x1b[2J") // home + clear
+			}
+			fmt.Fprint(out, frame)
+		}
+		if *once {
+			return 0
+		}
+		select {
+		case <-sigs:
+			return 0
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// renderFrame polls all three endpoints and assembles one screenful.
+func renderFrame(base string, width int) (string, error) {
+	var hz healthzView
+	if err := getJSON(base+"/healthz", &hz); err != nil {
+		return "", err
+	}
+	var workers []workerView
+	if err := getJSON(base+"/v1/health/detail", &workers); err != nil {
+		return "", err
+	}
+	counters, _ := scrapeCounters(base + "/metrics") // metrics are optional garnish
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "uwm-top  %s  %s\n", base, time.Now().Format("15:04:05"))
+	fmt.Fprintf(&b, "pool: %s  workers=%d healthy=%d drifting=%d  queue=%d/%d inflight=%d submitted=%d\n",
+		hz.Status, hz.Workers, hz.HealthyWorkers, hz.DriftingWorkers,
+		hz.QueueDepth, hz.QueueCapacity, hz.Inflight, hz.Submitted)
+	if len(counters) > 0 {
+		b.WriteString("totals:")
+		for _, c := range counters {
+			fmt.Fprintf(&b, " %s=%d", strings.TrimSuffix(strings.TrimPrefix(c.name, "uwm_engine_"), "_total"), c.value)
+		}
+		b.WriteByte('\n')
+	}
+	for _, w := range workers {
+		fmt.Fprintf(&b, "\n-- worker %d --\n", w.Worker)
+		b.WriteString(health.RenderSnapshot(w.Snapshot, width))
+	}
+	return b.String(), nil
+}
+
+func getJSON(url string, dst any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	// /healthz answers 503 with a well-formed body when degraded or
+	// draining — that is exactly what this console wants to show.
+	return json.NewDecoder(resp.Body).Decode(dst)
+}
+
+type counter struct {
+	name  string
+	value uint64
+}
+
+// scrapeCounters parses a Prometheus text exposition and sums the
+// engine's job/retry/recalibration counters across label sets.
+func scrapeCounters(url string) ([]counter, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+
+	wanted := map[string]bool{
+		"uwm_engine_jobs_total":               true,
+		"uwm_engine_retries_total":            true,
+		"uwm_engine_recalibrations_total":     true,
+		"uwm_engine_vote_disagreements_total": true,
+	}
+	sums := map[string]uint64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		name, val, ok := splitSample(line)
+		if !ok || !wanted[name] {
+			continue
+		}
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			continue // float-formatted gauges are not ours
+		}
+		sums[name] += n
+	}
+	out := make([]counter, 0, len(sums))
+	for name, v := range sums {
+		out = append(out, counter{name, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out, nil
+}
+
+// splitSample splits `name{labels} value` or `name value` into the bare
+// metric name and the value text.
+func splitSample(line string) (name, value string, ok bool) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", "", false
+	}
+	name, value = line[:sp], line[sp+1:]
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name = name[:i]
+	}
+	return name, value, name != ""
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"uwm/internal/health"
+	"uwm/internal/trace"
+)
+
+// fakeServe builds a test server that answers the three endpoints
+// uwm-top polls, with one worker whose monitor digested a real-shaped
+// read stream.
+func fakeServe(t *testing.T) *httptest.Server {
+	t.Helper()
+	mon := health.NewMonitor(health.Config{})
+	mon.Emit(trace.Event{Kind: trace.KindCalibration, Value: 129, Text: "hit=36 miss=222 n=1"})
+	for i := 0; i < 40; i++ {
+		delta := uint64(36)
+		if i%2 == 0 {
+			delta = 222
+		}
+		mon.Emit(trace.Event{Kind: trace.KindTimedRead, Value: delta,
+			Text: fmt.Sprintf("gate=TSX_AND out=%d bit=%d", i%2, i%2)})
+	}
+	mon.ObserveOutcome("TSX_AND", 4, 4)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"status":"ok","workers":1,"healthy_workers":1,"drifting_workers":0,
+			"queue_depth":0,"queue_capacity":64,"inflight":0,"submitted":4}`)
+	})
+	mux.HandleFunc("/v1/health/detail", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap, err := healthJSON(mon)
+		if err != nil {
+			t.Errorf("marshaling snapshot: %v", err)
+		}
+		fmt.Fprintf(w, `[{"worker":0,"health":%s}]`, snap)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "# TYPE uwm_engine_jobs_total counter\n"+
+			"uwm_engine_jobs_total{status=\"done\"} 3\n"+
+			"uwm_engine_jobs_total{status=\"failed\"} 1\n"+
+			"# TYPE uwm_engine_retries_total counter\n"+
+			"uwm_engine_retries_total{type=\"gate\",reason=\"error\"} 2\n"+
+			"# TYPE uwm_engine_queue_depth gauge\n"+
+			"uwm_engine_queue_depth 0\n")
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func healthJSON(mon *health.Monitor) (string, error) {
+	b, err := json.Marshal(mon.Snapshot())
+	return string(b), err
+}
+
+func TestOnceSnapshot(t *testing.T) {
+	srv := fakeServe(t)
+	var out strings.Builder
+	if code := realMain([]string{"-addr", srv.URL, "-once"}, &out, nil); code != 0 {
+		t.Fatalf("realMain -once = %d, want 0", code)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"pool: ok",
+		"workers=1 healthy=1",
+		"jobs=4",    // 3 done + 1 failed, summed across labels
+		"retries=2", // reason labels summed
+		"worker 0",
+		"TSX_AND",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "\x1b[") {
+		t.Error("-once output contains ANSI escapes")
+	}
+	if strings.Contains(got, "queue_depth=") {
+		t.Error("gauge leaked into the counter totals line")
+	}
+}
+
+func TestUnreachableServer(t *testing.T) {
+	var out strings.Builder
+	if code := realMain([]string{"-addr", "http://127.0.0.1:1", "-once"}, &out, nil); code != 1 {
+		t.Errorf("unreachable server: exit %d, want 1", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if code := realMain([]string{"-bogus"}, &out, nil); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code := realMain([]string{"stray-arg"}, &out, nil); code != 2 {
+		t.Errorf("stray arg: exit %d, want 2", code)
+	}
+}
+
+func TestSplitSample(t *testing.T) {
+	for _, tc := range []struct {
+		line, name, value string
+		ok                bool
+	}{
+		{`uwm_engine_jobs_total{status="done"} 3`, "uwm_engine_jobs_total", "3", true},
+		{"uwm_engine_queue_depth 0", "uwm_engine_queue_depth", "0", true},
+		{"nospace", "", "", false},
+	} {
+		name, value, ok := splitSample(tc.line)
+		if name != tc.name || value != tc.value || ok != tc.ok {
+			t.Errorf("splitSample(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				tc.line, name, value, ok, tc.name, tc.value, tc.ok)
+		}
+	}
+}

@@ -16,14 +16,25 @@
 //	uwm-trace profile run.jsonl                      # top table
 //	uwm-trace profile -format folded run.jsonl       # flamegraph stacks
 //	uwm-trace profile -format pprof -o cyc.pb.gz run.jsonl
+//
+// The health mode replays the recording through the same gate-health
+// monitor the serving workers run, so an offline verdict on a recorded
+// trace matches what the live /v1/health/detail endpoint reported:
+//
+//	uwm-trace -health run.jsonl             # margin histogram + drift verdict
+//	uwm-trace -health -format json run.jsonl
+//	uwm-trace -job job-00000003 run.jsonl   # only that job's spans
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"uwm/internal/health"
+	"uwm/internal/trace"
 	"uwm/internal/traceanalyze"
 )
 
@@ -39,8 +50,10 @@ func realMain(args []string) int {
 	fs := flag.NewFlagSet("uwm-trace", flag.ContinueOnError)
 	format := fs.String("format", "table", "output format: table or json")
 	maxOverlaps := fs.Int("max-overlaps", 8, "contention incidents to list individually (counts stay exact)")
+	healthMode := fs.Bool("health", false, "replay the trace through the gate-health monitor instead of analyzing it")
+	job := fs.String("job", "", "restrict to spans annotated with this job or request id")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: uwm-trace [-format table|json] <trace.jsonl | ->\n")
+		fmt.Fprintf(fs.Output(), "usage: uwm-trace [-format table|json] [-health] [-job id] <trace.jsonl | ->\n")
 		fmt.Fprintf(fs.Output(), "       uwm-trace profile [-format top|folded|pprof] [-top n] [-o file] <trace.jsonl | ->\n")
 		fs.PrintDefaults()
 	}
@@ -60,8 +73,26 @@ func realMain(args []string) int {
 	if parsed == nil {
 		return code
 	}
+	events := parsed.Events
+	if *job != "" {
+		if events = traceanalyze.FilterByAnnotation(events, *job); len(events) == 0 {
+			fmt.Fprintf(os.Stderr, "uwm-trace: no spans annotated with %q in the trace\n", *job)
+			return 1
+		}
+	}
 
-	report := traceanalyze.Analyze(parsed.Events, traceanalyze.Options{MaxOverlapSamples: *maxOverlaps})
+	if *healthMode {
+		if *job != "" {
+			// A job-filtered replay still needs the calibration events:
+			// they fire at machine construction and on recalibration,
+			// outside any job span, and carry the threshold every margin
+			// is measured against.
+			events = mergeCalibrations(parsed.Events, events)
+		}
+		return healthMain(events, *format)
+	}
+
+	report := traceanalyze.Analyze(events, traceanalyze.Options{MaxOverlapSamples: *maxOverlaps})
 	report.Truncated = parsed.Truncated
 
 	switch *format {
@@ -74,6 +105,44 @@ func realMain(args []string) int {
 		fmt.Print(report.RenderTable())
 	}
 	return 0
+}
+
+// healthMain is the `-health` mode: replay the recording through a
+// fresh gate-health monitor — identical code to the live workers' — and
+// print its snapshot.
+func healthMain(events []trace.Event, format string) int {
+	snap := health.Replay(events, health.Config{}).Snapshot()
+	if format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			fmt.Fprintf(os.Stderr, "uwm-trace: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if snap.Reads == 0 {
+		fmt.Fprintf(os.Stderr, "uwm-trace: warning: recording holds no timed reads; was it captured with tracing enabled?\n")
+	}
+	fmt.Print(health.RenderSnapshot(snap, 48))
+	return 0
+}
+
+// mergeCalibrations re-inserts the calibration events of the full
+// stream into a filtered subsequence, preserving order.
+func mergeCalibrations(full, filtered []trace.Event) []trace.Event {
+	out := make([]trace.Event, 0, len(filtered))
+	j := 0
+	for _, e := range full {
+		switch {
+		case j < len(filtered) && e == filtered[j]:
+			out = append(out, e)
+			j++
+		case e.Kind == trace.KindCalibration:
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // profileMain is the `uwm-trace profile` mode: rebuild the

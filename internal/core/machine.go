@@ -83,6 +83,13 @@ type Options struct {
 	// Metrics attaches a metrics registry when non-nil: the machine
 	// registers its CPU, cache, branch and gate instruments on it.
 	Metrics *metrics.Registry
+	// HealthTap, when non-nil, receives only the machine's calibration
+	// and timed-read events — the minimal feed a gate-health monitor
+	// needs — regardless of whether a full trace sink is attached. The
+	// tap deliberately bypasses the Enabled elision that keeps untraced
+	// hot paths free: it never triggers per-instruction event assembly,
+	// because the CPU core does not see it.
+	HealthTap trace.Sink
 }
 
 // Machine owns the simulated hardware plus the calibrated timing
@@ -100,6 +107,17 @@ type Machine struct {
 	evictNext mem.Addr
 	threshold int64
 	gateSeq   int
+
+	// Calibration assets are built once and reused by Recalibrate: the
+	// probe symbol and program cannot be rebuilt, as Layout.AllocLine
+	// rejects duplicate names and codeRegion bump-allocates.
+	calibProbe mem.Symbol
+	calibProg  *isa.Program
+	calibCount int64
+
+	// healthTap receives calibration and timed-read events only (see
+	// Options.HealthTap).
+	healthTap trace.Sink
 
 	// Profiling-span state (see spans.go): monotonically increasing span
 	// ids and the stack of currently open frames.
@@ -139,6 +157,7 @@ func NewMachine(opts Options) (*Machine, error) {
 		reg:       opts.Metrics,
 		codeNext:  defaultCodeBase,
 		evictNext: defaultDataBase + 16*evictStride,
+		healthTap: opts.HealthTap,
 	}
 	if err := mach.calibrate(); err != nil {
 		return nil, fmt.Errorf("core: calibration failed: %w", err)
@@ -266,16 +285,23 @@ func (m *Machine) run(prog *isa.Program, entry string) (cpu.Result, error) {
 // live sink is attached, keeping untraced activations allocation-free.
 func (m *Machine) emitTimedRead(gate string, out, bit int, delta int64, addr mem.Addr) {
 	s := m.cpu.Sink()
-	if !trace.Enabled(s) {
+	live := trace.Enabled(s)
+	if !live && m.healthTap == nil {
 		return
 	}
-	s.Emit(trace.Event{
+	e := trace.Event{
 		Kind:  trace.KindTimedRead,
 		Cycle: m.cpu.TSC(),
 		Addr:  uint64(addr),
 		Value: uint64(delta),
 		Text:  fmt.Sprintf("gate=%s out=%d bit=%d", gate, out, bit),
-	})
+	}
+	if m.healthTap != nil {
+		m.healthTap.Emit(e)
+	}
+	if live {
+		s.Emit(e)
+	}
 }
 
 // ToBit converts a measured read latency to a logic value: faster than
@@ -311,37 +337,41 @@ func (m *Machine) perturbCode(line mem.Addr) {
 
 // calibrate measures hit and miss read latencies on a probe line and
 // places the logic threshold midway between their medians. Medians make
-// the calibration robust to interrupt outliers.
+// the calibration robust to interrupt outliers. The probe line and
+// program are allocated on first use and reused on recalibration.
 func (m *Machine) calibrate() error {
-	probe := m.layout.AllocLine("calib.probe")
-	b := isa.NewBuilder(m.codeRegion())
-	b.Label("miss").
-		Clflush(probe, 0).
-		Fence().
-		Rdtsc(isa.R10).
-		Load(isa.R11, probe, 0).
-		Rdtsc(isa.R12).
-		Halt()
-	b.Label("hit").
-		Load(isa.R11, probe, 0).
-		Fence().
-		Rdtsc(isa.R10).
-		Load(isa.R11, probe, 0).
-		Rdtsc(isa.R12).
-		Halt()
-	prog, err := b.Build()
-	if err != nil {
-		return err
+	if m.calibProg == nil {
+		m.calibProbe = m.layout.AllocLine("calib.probe")
+		b := isa.NewBuilder(m.codeRegion())
+		b.Label("miss").
+			Clflush(m.calibProbe, 0).
+			Fence().
+			Rdtsc(isa.R10).
+			Load(isa.R11, m.calibProbe, 0).
+			Rdtsc(isa.R12).
+			Halt()
+		b.Label("hit").
+			Load(isa.R11, m.calibProbe, 0).
+			Fence().
+			Rdtsc(isa.R10).
+			Load(isa.R11, m.calibProbe, 0).
+			Rdtsc(isa.R12).
+			Halt()
+		prog, err := b.Build()
+		if err != nil {
+			return err
+		}
+		m.calibProg = prog
 	}
 	const samples = 33
 	miss := make([]int64, 0, samples)
 	hit := make([]int64, 0, samples)
 	for i := 0; i < samples; i++ {
-		if _, err := m.run(prog, "miss"); err != nil {
+		if _, err := m.run(m.calibProg, "miss"); err != nil {
 			return err
 		}
 		miss = append(miss, int64(m.cpu.Reg(isa.R12)-m.cpu.Reg(isa.R10)))
-		if _, err := m.run(prog, "hit"); err != nil {
+		if _, err := m.run(m.calibProg, "hit"); err != nil {
 			return err
 		}
 		hit = append(hit, int64(m.cpu.Reg(isa.R12)-m.cpu.Reg(isa.R10)))
@@ -352,8 +382,48 @@ func (m *Machine) calibrate() error {
 		return fmt.Errorf("core: calibration found no timing gap (hit=%d miss=%d)", mh, mm)
 	}
 	m.threshold = (mh + mm) / 2
+	m.calibCount++
+	e := trace.Event{
+		Kind:  trace.KindCalibration,
+		Cycle: m.cpu.TSC(),
+		Value: uint64(m.threshold),
+		Text:  fmt.Sprintf("hit=%d miss=%d n=%d", mh, mm, m.calibCount),
+	}
+	if m.healthTap != nil {
+		m.healthTap.Emit(e)
+	}
+	if s := m.cpu.Sink(); trace.Enabled(s) {
+		s.Emit(e)
+	}
 	return nil
 }
+
+// Recalibrate re-runs the timing calibration in place, repositioning the
+// hit/miss threshold to the machine's current behaviour — the recovery
+// action a health monitor takes when the margin distribution has drifted.
+//
+// Determinism contract: the calibration runs are pinned to the machine's
+// original seed (so a recalibration draws exactly the noise the initial
+// calibration drew) and the noise stream's position is restored
+// afterwards, so callers that reseed per job (the engine's sub-seed
+// scheme) observe no perturbation of subsequent noise.
+func (m *Machine) Recalibrate() error {
+	saved := m.ns.RNG().State()
+	m.ns.Reseed(m.opts.Seed)
+	err := m.calibrate()
+	m.ns.RNG().SetState(saved)
+	if err != nil {
+		return fmt.Errorf("core: recalibration failed: %w", err)
+	}
+	m.reg.Gauge(MetricThreshold, "calibrated hit/miss timing boundary in cycles").
+		Set(float64(m.threshold))
+	m.reg.Counter(MetricRecalibrations, "threshold recalibrations after initial calibration").Inc()
+	return nil
+}
+
+// Calibrations returns how many times the machine has calibrated its
+// threshold, including the initial calibration at construction.
+func (m *Machine) Calibrations() int64 { return m.calibCount }
 
 // readDelta extracts the timed-read latency convention shared by all
 // gate read sections: R12 and R10 hold the two timestamps.

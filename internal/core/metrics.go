@@ -5,11 +5,12 @@ import "uwm/internal/metrics"
 // Metric series exported by the weird-machine layer. Gate series carry
 // a "gate" label (AND, OR, …) and a "family" label (bp or tsx).
 const (
-	MetricThreshold   = "uwm_machine_threshold_cycles"
-	MetricGateFires   = "uwm_gate_fires_total"
-	MetricGateOps     = "uwm_gate_ops_total"
-	MetricGateCorrect = "uwm_gate_correct_total"
-	MetricGateRead    = "uwm_gate_read_cycles"
+	MetricThreshold      = "uwm_machine_threshold_cycles"
+	MetricRecalibrations = "uwm_machine_recalibrations_total"
+	MetricGateFires      = "uwm_gate_fires_total"
+	MetricGateOps        = "uwm_gate_ops_total"
+	MetricGateCorrect    = "uwm_gate_correct_total"
+	MetricGateRead       = "uwm_gate_read_cycles"
 )
 
 // Metrics returns the registry attached via Options.Metrics, possibly

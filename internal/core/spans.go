@@ -101,6 +101,24 @@ func (m *Machine) EndSpan(id uint64) {
 	m.spanStack = m.spanStack[:idx]
 }
 
+// Annotate attaches a free-form key=value attribute to the innermost
+// open span by emitting a KindAnnotation event carrying that span's id.
+// With no span open (or no live sink) it is a no-op, so callers can
+// annotate unconditionally. Offline consumers (uwm-trace's -job filter)
+// use annotations to select a span subtree by request id.
+func (m *Machine) Annotate(text string) {
+	s := m.cpu.Sink()
+	if !trace.Enabled(s) || len(m.spanStack) == 0 {
+		return
+	}
+	s.Emit(trace.Event{
+		Kind:  trace.KindAnnotation,
+		Cycle: m.cpu.TSC(),
+		Addr:  m.spanStack[len(m.spanStack)-1].id,
+		Text:  text,
+	})
+}
+
 // OpenSpans returns how many profiling frames are currently open —
 // diagnostics for tests asserting balanced instrumentation.
 func (m *Machine) OpenSpans() int { return len(m.spanStack) }

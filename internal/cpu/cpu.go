@@ -644,7 +644,7 @@ func (c *CPU) memAccess(addr mem.Addr, issue int64) int64 {
 	line := addr.Line()
 	lat, lvl := c.hier.LoadData(addr)
 	if lvl == cache.LevelMem {
-		lat += c.ns.MemJitter()
+		lat += c.ns.MemJitter() + c.ns.MemDelta()
 		if lat < 1 {
 			lat = 1
 		}

@@ -25,10 +25,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"uwm/internal/health"
 	"uwm/internal/metrics"
 	"uwm/internal/noise"
 	"uwm/internal/skelly"
@@ -141,6 +143,11 @@ type Config struct {
 	// one worker the spans of concurrent jobs interleave; profile with
 	// Workers=1 when frame attribution matters.
 	Sink trace.Sink
+	// Health tunes the per-worker gate-health monitors; nil selects the
+	// monitor defaults. Every worker always carries a monitor: when its
+	// drift detector fires, the worker finishes the job in hand and
+	// recalibrates its machine before taking the next one.
+	Health *health.Config
 }
 
 func (c Config) normalized() Config {
@@ -175,15 +182,26 @@ func (c Config) normalized() Config {
 
 // Metric series exported by the engine.
 const (
-	MetricJobs      = "uwm_engine_jobs_total"
-	MetricRejected  = "uwm_engine_rejected_total"
-	MetricRetries   = "uwm_engine_retries_total"
-	MetricVotes     = "uwm_engine_votes_total"
-	MetricQueueLen  = "uwm_engine_queue_depth"
-	MetricQueueCap  = "uwm_engine_queue_capacity"
-	MetricInflight  = "uwm_engine_inflight_jobs"
-	MetricWorkers   = "uwm_engine_workers"
-	MetricJobLatSec = "uwm_engine_job_seconds"
+	MetricJobs            = "uwm_engine_jobs_total"
+	MetricRejected        = "uwm_engine_rejected_total"
+	MetricRetries         = "uwm_engine_retries_total"
+	MetricVotes           = "uwm_engine_votes_total"
+	MetricDisagreements   = "uwm_engine_vote_disagreements_total"
+	MetricRecalibrations  = "uwm_engine_recalibrations_total"
+	MetricQueueLen        = "uwm_engine_queue_depth"
+	MetricQueueCap        = "uwm_engine_queue_capacity"
+	MetricInflight        = "uwm_engine_inflight_jobs"
+	MetricWorkers         = "uwm_engine_workers"
+	MetricHealthyWorkers  = "uwm_engine_healthy_workers"
+	MetricDriftingWorkers = "uwm_engine_drifting_workers"
+	MetricJobLatSec       = "uwm_engine_job_seconds"
+)
+
+// Retry reason labels on MetricRetries.
+const (
+	RetryTimeout  = "timeout"  // the attempt's error was a deadline expiry
+	RetryError    = "error"    // the attempt errored for any other reason
+	RetryMismatch = "mismatch" // a successful attempt disagreed with an earlier one
 )
 
 // jobSecondsBuckets spans sub-millisecond gate evaluations up to
@@ -196,6 +214,7 @@ var jobSecondsBuckets = []float64{
 // Engine is the concurrent weird-machine job executor.
 type Engine struct {
 	cfg   Config
+	rigs  []*Rig
 	queue chan *Job
 
 	mu       sync.Mutex
@@ -229,7 +248,7 @@ func New(cfg Config) (*Engine, error) {
 		build.Add(1)
 		go func(i int) {
 			defer build.Done()
-			rigs[i], errs[i] = newRig(cfg, sink)
+			rigs[i], errs[i] = newRig(cfg, sink, i)
 		}(i)
 	}
 	build.Wait()
@@ -242,6 +261,7 @@ func New(cfg Config) (*Engine, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		cfg:      cfg,
+		rigs:     rigs,
 		queue:    make(chan *Job, cfg.QueueDepth),
 		jobs:     make(map[string]*Job),
 		baseCtx:  ctx,
@@ -266,6 +286,26 @@ func (e *Engine) registerMetrics() {
 	reg.GaugeFunc(MetricInflight, "jobs currently executing",
 		func() float64 { return float64(e.inflight.Load()) })
 	reg.Gauge(MetricWorkers, "worker pool size").Set(float64(e.cfg.Workers))
+	reg.GaugeFunc(MetricHealthyWorkers, "workers whose gate-health monitor reports healthy",
+		func() float64 {
+			n := 0
+			for _, r := range e.rigs {
+				if r.Health.Healthy() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc(MetricDriftingWorkers, "workers whose drift detector is currently latched",
+		func() float64 {
+			n := 0
+			for _, r := range e.rigs {
+				if r.Health.Drifting() {
+					n++
+				}
+			}
+			return float64(n)
+		})
 }
 
 // Seed returns the engine's root seed.
@@ -350,6 +390,13 @@ type Stats struct {
 	Inflight      int   `json:"inflight"`
 	Submitted     int64 `json:"submitted"`
 	Draining      bool  `json:"draining"`
+	// HealthyWorkers counts workers whose gate-health monitor reports
+	// healthy; DriftingWorkers counts latched drift verdicts awaiting
+	// recalibration. HealthyWorkers + unhealthy-but-not-drifting +
+	// DriftingWorkers need not sum to Workers (a worker can be degraded
+	// by error rate without drifting).
+	HealthyWorkers  int `json:"healthy_workers"`
+	DriftingWorkers int `json:"drifting_workers"`
 }
 
 // Stats reports the pool's current occupancy.
@@ -357,7 +404,7 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	closed := e.closed
 	e.mu.Unlock()
-	return Stats{
+	s := Stats{
 		Workers:       e.cfg.Workers,
 		QueueDepth:    len(e.queue),
 		QueueCapacity: e.cfg.QueueDepth,
@@ -365,6 +412,32 @@ func (e *Engine) Stats() Stats {
 		Submitted:     int64(e.seq.Load()),
 		Draining:      closed,
 	}
+	for _, r := range e.rigs {
+		if r.Health.Healthy() {
+			s.HealthyWorkers++
+		}
+		if r.Health.Drifting() {
+			s.DriftingWorkers++
+		}
+	}
+	return s
+}
+
+// WorkerHealth pairs a worker's id with its gate-health snapshot.
+type WorkerHealth struct {
+	Worker   int             `json:"worker"`
+	Snapshot health.Snapshot `json:"health"`
+}
+
+// Health snapshots every worker's gate-health monitor, ordered by
+// worker id — the payload behind the serving layer's health detail
+// endpoint.
+func (e *Engine) Health() []WorkerHealth {
+	out := make([]WorkerHealth, len(e.rigs))
+	for i, r := range e.rigs {
+		out[i] = WorkerHealth{Worker: r.ID, Snapshot: r.Health.Snapshot()}
+	}
+	return out
 }
 
 // Close drains the engine: intake stops (Submit returns ErrClosed),
@@ -394,12 +467,38 @@ func (e *Engine) Close(ctx context.Context) error {
 	}
 }
 
-// worker owns one rig and serves the queue until drained.
+// worker owns one rig and serves the queue until drained. Between jobs
+// the worker consults its health monitor: a latched drift verdict
+// triggers an in-place recalibration — the work in hand has already
+// drained, and the next job starts against a re-centered threshold.
 func (e *Engine) worker(rig *Rig) {
 	defer e.wg.Done()
 	for j := range e.queue {
 		e.runJob(rig, j)
+		e.maybeRecalibrate(rig)
 	}
+}
+
+// maybeRecalibrate recovers a drifted worker machine. The recalibration
+// emits a KindCalibration event through the machine's health tap, which
+// resets the monitor's drift detector — the close of the detect →
+// recalibrate → reset loop.
+func (e *Engine) maybeRecalibrate(rig *Rig) {
+	if !rig.Health.Drifting() {
+		return
+	}
+	workerLabel := metrics.L("worker", strconv.Itoa(rig.ID))
+	if err := rig.Machine.Recalibrate(); err != nil {
+		// The machine keeps its old threshold; leave the verdict latched
+		// so the next job boundary retries the recalibration.
+		e.cfg.Metrics.Counter(MetricRecalibrations,
+			"worker recalibrations triggered by drift, by outcome",
+			workerLabel, metrics.L("outcome", "failed")).Inc()
+		return
+	}
+	e.cfg.Metrics.Counter(MetricRecalibrations,
+		"worker recalibrations triggered by drift, by outcome",
+		workerLabel, metrics.L("outcome", "ok")).Inc()
 }
 
 // runJob executes one job under its deadline and retry policy and
@@ -471,8 +570,11 @@ func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job) (*Result, error
 	policy = policy.normalized()
 
 	h, _ := lookupHandler(j.spec.Type)
-	retriesCtr := e.cfg.Metrics.Counter(MetricRetries, "errored attempts that were retried",
-		metrics.L("type", j.spec.Type))
+	typeLabel := metrics.L("type", j.spec.Type)
+	retryCtr := func(reason string) *metrics.Counter {
+		return e.cfg.Metrics.Counter(MetricRetries, "extra attempts by cause",
+			typeLabel, metrics.L("reason", reason))
+	}
 
 	votes := make(map[string]int)
 	var ballots []string // first-seen order, the deterministic tie-break
@@ -505,6 +607,7 @@ func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job) (*Result, error
 		// oranges and random-input jobs could never reach quorum.
 		env := &Env{rig: rig, rng: noise.NewRNG(noise.SubSeed(j.subSeed, ^uint64(0))), seed: seed}
 		sp := rig.Machine.BeginSpan("job:" + j.spec.Type)
+		rig.Machine.Annotate(j.annotation())
 		value, err := h(ctx, env, j.spec.Params)
 		rig.Machine.EndSpan(sp)
 		res.Attempts++
@@ -514,7 +617,11 @@ func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job) (*Result, error
 				break
 			}
 			res.Retries++
-			retriesCtr.Inc()
+			reason := RetryError
+			if errors.Is(err, context.DeadlineExceeded) {
+				reason = RetryTimeout
+			}
+			retryCtr(reason).Inc()
 			continue
 		}
 		lastErr = nil
@@ -527,12 +634,18 @@ func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job) (*Result, error
 		key := string(raw)
 		if votes[key] == 0 {
 			ballots = append(ballots, key)
+			if len(ballots) > 1 {
+				// A fresh conflicting ballot: every further attempt this
+				// job burns is disagreement-driven.
+				retryCtr(RetryMismatch).Inc()
+			}
 		}
 		votes[key]++
 		if votes[key] >= policy.Vote {
 			res.Value = json.RawMessage(key)
 			res.Votes = votes[key]
 			res.Quorum = true
+			e.countDisagreements(typeLabel, ballots)
 			return res, nil
 		}
 		// Stop early once no candidate can still reach the vote
@@ -565,7 +678,20 @@ func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job) (*Result, error
 	res.Value = json.RawMessage(winner)
 	res.Votes = votes[winner]
 	res.Quorum = false
+	e.countDisagreements(typeLabel, ballots)
 	return res, nil
+}
+
+// countDisagreements records how many conflicting result candidates a
+// job's attempts produced beyond the first — per job type, the signal
+// that a gate library's error rate is eating the vote budget.
+func (e *Engine) countDisagreements(typeLabel metrics.Label, ballots []string) {
+	if len(ballots) <= 1 {
+		return
+	}
+	e.cfg.Metrics.Counter(MetricDisagreements,
+		"conflicting result candidates beyond the first, per voted job", typeLabel).
+		Add(uint64(len(ballots) - 1))
 }
 
 // sleepCtx sleeps for d or until ctx is done.

@@ -1,19 +1,29 @@
 // Package httpapi exposes an engine.Engine as a small JSON-over-HTTP
 // job service. The surface is deliberately tiny:
 //
-//	POST /v1/jobs      submit a job; ?wait=1 (or "wait": true) blocks
-//	                   for the result, otherwise 202 + a pollable id
-//	GET  /v1/jobs      list retained jobs
-//	GET  /v1/jobs/{id} poll one job
-//	GET  /v1/types     registered job types
-//	GET  /healthz      pool stats; 503 once the engine is draining
+//	POST /v1/jobs          submit a job; ?wait=1 (or "wait": true) blocks
+//	                       for the result, otherwise 202 + a pollable id
+//	GET  /v1/jobs          list retained jobs
+//	GET  /v1/jobs/{id}     poll one job
+//	GET  /v1/types         registered job types
+//	GET  /v1/health/detail per-worker gate-health snapshots
+//	GET  /healthz          pool stats; 503 once the engine is draining
+//	                       or a quorum of workers is unhealthy
 //
 // Backpressure maps directly: a full engine queue turns into HTTP 429
 // with a Retry-After hint, so load shedding happens at the edge
 // instead of by queue growth.
+//
+// Every response carries an X-Request-Id header: the caller's, when the
+// request had one, or a freshly generated id. Submissions propagate the
+// id into the job spec, where the engine attaches it to the job's trace
+// spans — one id correlates the HTTP exchange, the stored job snapshot
+// and the recorded trace.
 package httpapi
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"io"
@@ -26,6 +36,14 @@ import (
 // maxBodyBytes bounds a submission body; params are small JSON
 // objects, not payload blobs.
 const maxBodyBytes = 1 << 20
+
+// requestIDHeader is the correlation-id header, accepted inbound and
+// echoed on every response.
+const requestIDHeader = "X-Request-Id"
+
+// maxRequestIDLen truncates absurd caller-supplied ids so they stay
+// usable as span annotations and log fields.
+const maxRequestIDLen = 128
 
 // JobRequest is the POST /v1/jobs body.
 type JobRequest struct {
@@ -49,6 +67,13 @@ type JobRequest struct {
 // errorBody is the uniform error envelope.
 type errorBody struct {
 	Error string `json:"error"`
+}
+
+// healthzBody is the /healthz payload: the pool stats plus the verdict
+// the status code encodes, spelled out for humans reading the body.
+type healthzBody struct {
+	engine.Stats
+	Status string `json:"status"`
 }
 
 // New returns the service's http.Handler.
@@ -76,15 +101,61 @@ func New(e *engine.Engine) http.Handler {
 	mux.HandleFunc("GET /v1/types", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, engine.JobTypes())
 	})
+	mux.HandleFunc("GET /v1/health/detail", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, e.Health())
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		st := e.Stats()
 		code := http.StatusOK
-		if st.Draining {
+		status := "ok"
+		switch {
+		case st.Draining:
 			code = http.StatusServiceUnavailable
+			status = "draining"
+		case quorumUnhealthy(st):
+			code = http.StatusServiceUnavailable
+			status = "degraded"
 		}
-		writeJSON(w, code, st)
+		writeJSON(w, code, healthzBody{Stats: st, Status: status})
 	})
-	return mux
+	return withRequestID(mux)
+}
+
+// quorumUnhealthy reports whether so many workers are unhealthy that
+// the pool can no longer be trusted: more than half the workers fail
+// their health check. A lone drifting worker self-heals at its next job
+// boundary and should not flip the service-wide probe.
+func quorumUnhealthy(st engine.Stats) bool {
+	unhealthy := st.Workers - st.HealthyWorkers
+	return st.Workers > 0 && 2*unhealthy > st.Workers
+}
+
+// withRequestID ensures every request carries a correlation id and
+// every response echoes it.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(requestIDHeader)
+		if len(id) > maxRequestIDLen {
+			id = id[:maxRequestIDLen]
+		}
+		if id == "" {
+			id = newRequestID()
+		}
+		r.Header.Set(requestIDHeader, id) // downstream handlers read it back
+		w.Header().Set(requestIDHeader, id)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// newRequestID generates a 16-hex-char random id. Randomness failures
+// degrade to a fixed id rather than failing the request: correlation is
+// best-effort observability, not a security boundary.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req-unavailable"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 func submit(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
@@ -106,12 +177,13 @@ func submit(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 	}
 
 	job, err := e.Submit(engine.JobSpec{
-		Type:     req.Type,
-		Params:   req.Params,
-		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
-		Seed:     req.Seed,
-		Attempts: req.Attempts,
-		Vote:     req.Vote,
+		Type:      req.Type,
+		Params:    req.Params,
+		Timeout:   time.Duration(req.TimeoutMS) * time.Millisecond,
+		Seed:      req.Seed,
+		Attempts:  req.Attempts,
+		Vote:      req.Vote,
+		RequestID: r.Header.Get(requestIDHeader),
 	})
 	switch {
 	case errors.Is(err, engine.ErrQueueFull):

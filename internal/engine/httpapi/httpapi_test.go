@@ -196,6 +196,112 @@ func TestListTypesAndJobs(t *testing.T) {
 	}
 }
 
+func TestQuorumUnhealthy(t *testing.T) {
+	for _, tc := range []struct {
+		workers, healthy int
+		want             bool
+	}{
+		{1, 1, false}, {1, 0, true},
+		{2, 2, false}, {2, 1, false}, {2, 0, true},
+		{4, 2, false}, {4, 1, true},
+		{0, 0, false},
+	} {
+		st := engine.Stats{Workers: tc.workers, HealthyWorkers: tc.healthy}
+		if got := quorumUnhealthy(st); got != tc.want {
+			t.Errorf("quorumUnhealthy(%d workers, %d healthy) = %v, want %v",
+				tc.workers, tc.healthy, got, tc.want)
+		}
+	}
+}
+
+func TestHealthDetail(t *testing.T) {
+	_, srv := newServer(t, engine.Config{Workers: 2})
+	if resp, err := http.Post(srv.URL+"/v1/jobs?wait=1", "application/json",
+		strings.NewReader(`{"type":"gate","params":{"gate":"TSX_AND","random":4}}`)); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/health/detail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health detail status %d", resp.StatusCode)
+	}
+	var workers []engine.WorkerHealth
+	decode(t, resp, &workers)
+	if len(workers) != 2 {
+		t.Fatalf("health detail lists %d workers, want 2", len(workers))
+	}
+	for i, w := range workers {
+		if w.Worker != i {
+			t.Errorf("worker %d has id %d", i, w.Worker)
+		}
+		if w.Snapshot.Threshold == 0 || w.Snapshot.Calibrations != 1 {
+			t.Errorf("worker %d snapshot missing calibration: %+v", i, w.Snapshot)
+		}
+	}
+	// The worker that ran the job reports its timed reads.
+	total := int64(0)
+	for _, w := range workers {
+		total += w.Snapshot.Reads
+	}
+	if total == 0 {
+		t.Error("no worker reports timed reads after a gate job")
+	}
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	_, srv := newServer(t, engine.Config{Workers: 1})
+
+	// Caller-supplied id: echoed on the response and stored on the job.
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/jobs?wait=1",
+		strings.NewReader(`{"type":"gate","params":{"gate":"TSX_ASSIGN","inputs":[[1]]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "caller-id-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "caller-id-42" {
+		t.Errorf("echoed request id = %q, want caller-id-42", got)
+	}
+	var snap engine.Snapshot
+	decode(t, resp, &snap)
+	if snap.RequestID != "caller-id-42" {
+		t.Errorf("job snapshot request id = %q", snap.RequestID)
+	}
+
+	// No id supplied: one is generated, echoed, and attached to the job.
+	resp, err = http.Post(srv.URL+"/v1/jobs?wait=1", "application/json",
+		strings.NewReader(`{"type":"gate","params":{"gate":"TSX_ASSIGN","inputs":[[0]]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := resp.Header.Get("X-Request-Id")
+	if gen == "" {
+		t.Fatal("no generated request id on response")
+	}
+	decode(t, resp, &snap)
+	if snap.RequestID != gen {
+		t.Errorf("job snapshot id %q != response header %q", snap.RequestID, gen)
+	}
+
+	// Non-submission endpoints echo too.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("healthz response missing request id")
+	}
+}
+
 func TestHealthz(t *testing.T) {
 	e, srv := newServer(t, engine.Config{Workers: 2})
 	resp, err := http.Get(srv.URL + "/healthz")
@@ -205,10 +311,13 @@ func TestHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", resp.StatusCode)
 	}
-	var st engine.Stats
+	var st healthzBody
 	decode(t, resp, &st)
-	if st.Workers != 2 || st.Draining {
+	if st.Workers != 2 || st.Draining || st.Status != "ok" {
 		t.Errorf("healthz stats %+v", st)
+	}
+	if st.HealthyWorkers != 2 {
+		t.Errorf("healthy workers = %d, want 2", st.HealthyWorkers)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

@@ -51,6 +51,12 @@ type JobSpec struct {
 	// Vote is the agreement count a result needs to win early.
 	Attempts int `json:"attempts,omitempty"`
 	Vote     int `json:"vote,omitempty"`
+
+	// RequestID is the caller's correlation id (the HTTP front end's
+	// X-Request-Id). The engine attaches it, with the job id, as an
+	// annotation on the job's trace spans, so an offline trace can be
+	// filtered down to one request's work.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Result is the engine's envelope around a handler's output: the voted
@@ -96,6 +102,15 @@ func (j *Job) ID() string { return j.id }
 // from.
 func (j *Job) SubSeed() uint64 { return j.subSeed }
 
+// annotation renders the correlation attribute attached to the job's
+// trace spans.
+func (j *Job) annotation() string {
+	if j.spec.RequestID == "" {
+		return "job=" + j.id
+	}
+	return "job=" + j.id + " request_id=" + j.spec.RequestID
+}
+
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
@@ -105,6 +120,7 @@ type Snapshot struct {
 	Type      string          `json:"type"`
 	Status    Status          `json:"status"`
 	SubSeed   uint64          `json:"sub_seed"`
+	RequestID string          `json:"request_id,omitempty"`
 	Params    json.RawMessage `json:"params,omitempty"`
 	Result    *Result         `json:"result,omitempty"`
 	Error     string          `json:"error,omitempty"`
@@ -122,6 +138,7 @@ func (j *Job) Snapshot() Snapshot {
 		Type:      j.spec.Type,
 		Status:    j.status,
 		SubSeed:   j.subSeed,
+		RequestID: j.spec.RequestID,
 		Params:    j.spec.Params,
 		Result:    j.result,
 		Error:     j.err,

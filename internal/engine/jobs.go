@@ -193,6 +193,11 @@ func runGateJob(ctx context.Context, env *Env, params json.RawMessage) (any, err
 	if res.Total > 0 {
 		res.Accuracy = float64(res.Correct) / float64(res.Total)
 	}
+	// Feed the scored outcomes to the worker's health monitor: margins
+	// arrive via the trace tap, but correctness only the handler knows.
+	if h := env.Rig().Health; h != nil {
+		h.ObserveOutcome(res.Gate, res.Correct, res.Total)
+	}
 	return res, nil
 }
 

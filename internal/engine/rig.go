@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"uwm/internal/core"
+	"uwm/internal/health"
 	"uwm/internal/noise"
 	"uwm/internal/sha1wm"
 	"uwm/internal/skelly"
@@ -20,7 +21,14 @@ import (
 // and per-job reproducibility comes from re-pinning the machine's
 // noise stream to the job's sub-seed before each attempt.
 type Rig struct {
+	// ID is the worker index, stable for the engine's lifetime; it
+	// labels the worker's health snapshot and recalibration metrics.
+	ID      int
 	Machine *core.Machine
+	// Health tracks the machine's gate-timing health. It is wired as the
+	// machine's health tap, so calibration and timed-read events reach
+	// it whether or not a full trace sink is attached.
+	Health *health.Monitor
 	// Skelly carries the redundant BP-gate library and, through it,
 	// the gates the "gate" job type runs by name.
 	Skelly *skelly.Skelly
@@ -41,12 +49,18 @@ func (r *Rig) BPGate(name string) *core.BPGate { return r.Skelly.Gate(name) }
 // calls it with the same configuration, so all rigs are clones; the
 // build order below is part of the determinism contract (it fixes the
 // address layout gates compute against).
-func newRig(cfg Config, sink trace.Sink) (*Rig, error) {
+func newRig(cfg Config, sink trace.Sink, id int) (*Rig, error) {
+	var hcfg health.Config
+	if cfg.Health != nil {
+		hcfg = *cfg.Health
+	}
+	mon := health.NewMonitor(hcfg)
 	m, err := core.NewMachine(core.Options{
 		Seed:            cfg.Seed,
 		Noise:           *cfg.Noise,
 		TrainIterations: cfg.TrainIterations,
 		Sink:            sink,
+		HealthTap:       mon,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("engine: building worker machine: %w", err)
@@ -69,7 +83,7 @@ func newRig(cfg Config, sink trace.Sink) (*Rig, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: building covert register: %w", err)
 	}
-	return &Rig{Machine: m, Skelly: sk, Hasher: sha1wm.New(sk), TSX: tsx, DC: dc}, nil
+	return &Rig{ID: id, Machine: m, Health: mon, Skelly: sk, Hasher: sha1wm.New(sk), TSX: tsx, DC: dc}, nil
 }
 
 // Env is what a job handler executes against: the worker's pinned rig

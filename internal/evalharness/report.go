@@ -79,6 +79,7 @@ func Registry() []Registered {
 		{Name: "ablations", Run: fromTable("ablations", Ablations)},
 		{Name: "extra", Run: fromTable("extra", ExtraChannels)},
 		{Name: "engine", Run: fromTable("engine", EngineThroughput)},
+		{Name: "health", Run: fromTable("health", GateHealth)},
 	}
 }
 

@@ -104,6 +104,9 @@ type Params struct {
 	SHA1Blocks          int
 	// FigureOps is the sample count for the KDE figures.
 	FigureOps int
+	// HealthOps is the per-noise-level operation count for the gate
+	// health experiment.
+	HealthOps int
 	// TrainIterations applies to BP gates in Table 2 (throughput
 	// shape); accuracy experiments use a small value for speed.
 	TrainIterations int
@@ -136,6 +139,7 @@ func Quick() Params {
 		SHA1S:       3, SHA1K: 1, SHA1N: 1,
 		SHA1Blocks:      1,
 		FigureOps:       4000,
+		HealthOps:       2000,
 		TrainIterations: 100,
 		ClockHz:         2.3e9,
 	}
@@ -156,6 +160,7 @@ func Record() Params {
 		SHA1S:       10, SHA1K: 3, SHA1N: 5,
 		SHA1Blocks:      2,
 		FigureOps:       80_000,
+		HealthOps:       16_000,
 		TrainIterations: 100,
 		ClockHz:         2.3e9,
 	}
@@ -174,6 +179,7 @@ func Full() Params {
 		SHA1S:       10, SHA1K: 3, SHA1N: 5,
 		SHA1Blocks:      2,
 		FigureOps:       320_000,
+		HealthOps:       16_000,
 		TrainIterations: 100,
 		ClockHz:         2.3e9,
 	}
@@ -207,6 +213,9 @@ func (p *Params) normalize() {
 	}
 	if p.FigureOps == 0 {
 		p.FigureOps = q.FigureOps
+	}
+	if p.HealthOps == 0 {
+		p.HealthOps = q.HealthOps
 	}
 	if p.TrainIterations == 0 {
 		p.TrainIterations = q.TrainIterations

@@ -122,12 +122,24 @@ func (h *Histogram) lowerEdge(i int) float64 {
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) by locating the bucket
 // holding the q·N-th sample and interpolating linearly inside it —
 // the bucketed analogue of stats.Quantile's order-statistic
-// interpolation. Samples in the +Inf bucket clamp to the top bound.
+// interpolation. Samples in the +Inf bucket clamp to the top bound, so
+// the result is always finite. Out-of-range and NaN q clamp into
+// [0, 1].
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil || h.Count() == 0 {
 		return 0
 	}
-	if q < 0 {
+	if len(h.bounds) == 0 {
+		// Degenerate layout: only the open bucket exists, so the
+		// observed minimum is the one finite edge we can report.
+		if h.hasMin.Load() {
+			return float64(h.min.Load())
+		}
+		return 0
+	}
+	// The negated comparisons are NaN-safe: NaN fails both and clamps
+	// to 0 rather than producing a NaN target that matches no bucket.
+	if !(q >= 0) {
 		q = 0
 	}
 	if q > 1 {

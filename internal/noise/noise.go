@@ -37,6 +37,23 @@ func NewRNG(seed uint64) *RNG {
 // NewRNG(seed) would produce, discarding the current position.
 func (r *RNG) Reseed(seed uint64) { *r = *NewRNG(seed) }
 
+// State returns the generator's internal state, a resumable position in
+// its stream. Pair with SetState to run a side computation (machine
+// recalibration pinned to its own seed, say) without disturbing the
+// surrounding stream.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a position previously captured with State. Values
+// not obtained from State are rejected when degenerate (zero would wedge
+// the xorshift stream) by falling back to a reseed.
+func (r *RNG) SetState(s uint64) {
+	if s == 0 {
+		r.Reseed(0)
+		return
+	}
+	r.state = s
+}
+
 // SubSeed derives the seed of an independent random stream from one
 // root seed: stream i is the i-th output of a splitmix64 generator
 // whose state starts at root. Sub-seeds are what let a job scheduler
@@ -176,6 +193,17 @@ type Config struct {
 	// MemJitterStdDev is the standard deviation, in cycles, of DRAM
 	// access latency.
 	MemJitterStdDev float64
+
+	// MemLatencyDelta is a constant cycle shift applied to every
+	// DRAM-served data access, modelling slow microarchitectural drift —
+	// thermal throttling or frequency scaling changing the core-cycle
+	// cost of a fixed-nanosecond DRAM round trip — relative to the
+	// calibrated hit/miss threshold. Negative values pull miss latencies
+	// toward the threshold, which is exactly the degradation a gate-
+	// health drift detector must catch. Unlike the jitter processes it
+	// draws nothing from the RNG, so flipping it mid-run leaves every
+	// noise stream pinned.
+	MemLatencyDelta int64
 }
 
 // Quiet returns a configuration with every noise process disabled. Gate
@@ -318,3 +346,7 @@ func (s *Source) MemJitter() int64 {
 	}
 	return int64(s.rng.NormFloat64() * s.cfg.MemJitterStdDev)
 }
+
+// MemDelta returns the constant DRAM latency shift. It never draws from
+// the RNG: drift is a property of the machine, not of any one access.
+func (s *Source) MemDelta() int64 { return s.cfg.MemLatencyDelta }

@@ -204,3 +204,54 @@ func TestSetConfigKeepsStream(t *testing.T) {
 		t.Error("SetConfig lost the config")
 	}
 }
+
+func TestStateRoundTrip(t *testing.T) {
+	r := NewRNG(12)
+	for i := 0; i < 17; i++ {
+		r.Uint64()
+	}
+	saved := r.State()
+	want := []uint64{r.Uint64(), r.Uint64(), r.Uint64()}
+
+	// Wander off: reseed elsewhere and draw, as a recalibration would.
+	r.Reseed(99)
+	for i := 0; i < 100; i++ {
+		r.Uint64()
+	}
+
+	r.SetState(saved)
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("draw %d after SetState = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestSetStateZeroDoesNotWedge(t *testing.T) {
+	r := NewRNG(1)
+	r.SetState(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("SetState(0) produced a dead stream")
+	}
+}
+
+func TestMemDeltaDrawsNothing(t *testing.T) {
+	cfg := Quiet()
+	cfg.MemLatencyDelta = -45
+	s := NewSource(6, cfg)
+	before := s.RNG().State()
+	for i := 0; i < 100; i++ {
+		if d := s.MemDelta(); d != -45 {
+			t.Fatalf("MemDelta = %d, want -45", d)
+		}
+	}
+	if s.RNG().State() != before {
+		t.Error("MemDelta consumed RNG draws — drift must not perturb noise streams")
+	}
+	// Presets carry no drift.
+	for _, c := range []Config{Quiet(), Paper(), PaperIsolated(), Noisy()} {
+		if c.MemLatencyDelta != 0 {
+			t.Error("preset config has nonzero MemLatencyDelta")
+		}
+	}
+}

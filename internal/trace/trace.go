@@ -31,16 +31,18 @@ const (
 
 	microBoundary
 
-	KindSpecStart  Kind = iota // μarch: speculative window opened
-	KindSpecExec               // μarch: instruction executed transiently
-	KindSpecEnd                // μarch: window closed / rolled back
-	KindCacheFill              // μarch: line filled
-	KindCacheEvict             // μarch: line evicted
-	KindCacheFlush             // μarch: line flushed
-	KindTimedRead              // μarch: measured latency value
-	KindNoise                  // μarch: injected noise event
-	KindSpanBegin              // μarch: profiling frame opened (Value=span id, Addr=parent id, Text=frame)
-	KindSpanEnd                // μarch: profiling frame closed (Value=span id, Text=frame)
+	KindSpecStart   Kind = iota // μarch: speculative window opened
+	KindSpecExec                // μarch: instruction executed transiently
+	KindSpecEnd                 // μarch: window closed / rolled back
+	KindCacheFill               // μarch: line filled
+	KindCacheEvict              // μarch: line evicted
+	KindCacheFlush              // μarch: line flushed
+	KindTimedRead               // μarch: measured latency value
+	KindNoise                   // μarch: injected noise event
+	KindSpanBegin               // μarch: profiling frame opened (Value=span id, Addr=parent id, Text=frame)
+	KindSpanEnd                 // μarch: profiling frame closed (Value=span id, Text=frame)
+	KindCalibration             // μarch: timing threshold (re)calibrated (Value=threshold cycles)
+	KindAnnotation              // μarch: free-form attribute attached to a span (Addr=span id, Text=key=value pairs)
 
 	kindEnd // sentinel; keep last
 )
@@ -99,6 +101,10 @@ func (k Kind) String() string {
 		return "span-begin"
 	case KindSpanEnd:
 		return "span-end"
+	case KindCalibration:
+		return "calibration"
+	case KindAnnotation:
+		return "annotation"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

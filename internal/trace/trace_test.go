@@ -29,6 +29,8 @@ var kindTable = []struct {
 	{KindNoise, "noise", false},
 	{KindSpanBegin, "span-begin", false},
 	{KindSpanEnd, "span-end", false},
+	{KindCalibration, "calibration", false},
+	{KindAnnotation, "annotation", false},
 }
 
 func TestKindsExhaustive(t *testing.T) {

@@ -1,0 +1,72 @@
+package traceanalyze
+
+import (
+	"strings"
+
+	"uwm/internal/trace"
+)
+
+// FilterByAnnotation returns the sub-stream of events that belong to
+// spans carrying a matching annotation — the engine annotates each job
+// span with "job=<id> request_id=<rid>", so a query of "job-00000003",
+// "job=job-00000003" or the request id selects exactly that job's
+// events (all attempts, including nested gate spans).
+//
+// A query matches an annotation when it equals one of its
+// space-separated key=value tokens, or the value part of one. The
+// returned slice preserves event order and includes the span-begin/end
+// brackets of the matched spans, so the result remains a well-formed
+// stream for Analyze or BuildProfile.
+func FilterByAnnotation(events []trace.Event, query string) []trace.Event {
+	matched := make(map[uint64]bool)
+	for _, e := range events {
+		if e.Kind == trace.KindAnnotation && annotationMatches(e.Text, query) {
+			matched[e.Addr] = true
+		}
+	}
+	if len(matched) == 0 {
+		return nil
+	}
+	var out []trace.Event
+	depth := 0
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindSpanBegin:
+			if matched[e.Value] {
+				depth++
+			}
+			if depth > 0 {
+				out = append(out, e)
+			}
+		case trace.KindSpanEnd:
+			if depth > 0 {
+				out = append(out, e)
+			}
+			if matched[e.Value] {
+				depth--
+			}
+		default:
+			if depth > 0 {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// annotationMatches reports whether query selects an annotation text of
+// space-separated key=value tokens.
+func annotationMatches(text, query string) bool {
+	if query == "" {
+		return false
+	}
+	for _, tok := range strings.Fields(text) {
+		if tok == query {
+			return true
+		}
+		if i := strings.IndexByte(tok, '='); i >= 0 && tok[i+1:] == query {
+			return true
+		}
+	}
+	return false
+}

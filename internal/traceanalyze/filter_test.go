@@ -1,0 +1,87 @@
+package traceanalyze
+
+import (
+	"testing"
+
+	"uwm/internal/trace"
+)
+
+// span builds the bracketing events of an annotated span around the
+// given payload events.
+func span(id uint64, name, annotation string, payload ...trace.Event) []trace.Event {
+	out := []trace.Event{{Kind: trace.KindSpanBegin, Value: id, Text: name}}
+	if annotation != "" {
+		out = append(out, trace.Event{Kind: trace.KindAnnotation, Addr: id, Text: annotation})
+	}
+	out = append(out, payload...)
+	return append(out, trace.Event{Kind: trace.KindSpanEnd, Value: id, Text: name})
+}
+
+func TestFilterByAnnotation(t *testing.T) {
+	read := func(delta uint64) trace.Event {
+		return trace.Event{Kind: trace.KindTimedRead, Value: delta}
+	}
+	var events []trace.Event
+	events = append(events, trace.Event{Kind: trace.KindCalibration, Value: 129})
+	events = append(events, span(1, "job:gate", "job=job-00000001 request_id=req-aaa", read(36))...)
+	events = append(events, span(2, "job:gate", "job=job-00000002 request_id=req-bbb", read(222), read(40))...)
+	events = append(events, span(3, "job:sha1", "job=job-00000003")...)
+
+	for _, tc := range []struct {
+		query string
+		want  int // events, including the span brackets and annotation
+	}{
+		{"job-00000001", 4},
+		{"job=job-00000001", 4},
+		{"req-bbb", 5},
+		{"request_id=req-bbb", 5},
+		{"job-00000003", 3},
+		{"job-00000009", 0},
+		{"job", 0},  // key alone does not match
+		{"req", 0},  // prefixes do not match
+		{"", 0},     // empty query selects nothing
+		{"job:", 0}, // span names are not annotations
+	} {
+		got := FilterByAnnotation(events, tc.query)
+		if len(got) != tc.want {
+			t.Errorf("FilterByAnnotation(%q) = %d events, want %d: %v", tc.query, len(got), tc.want, got)
+		}
+	}
+
+	// The filtered stream keeps its span brackets balanced and carries
+	// the matched span's payload.
+	got := FilterByAnnotation(events, "job-00000002")
+	if got[0].Kind != trace.KindSpanBegin || got[len(got)-1].Kind != trace.KindSpanEnd {
+		t.Errorf("filtered stream not bracketed: %v", got)
+	}
+	reads := 0
+	for _, e := range got {
+		if e.Kind == trace.KindTimedRead {
+			reads++
+		}
+	}
+	if reads != 2 {
+		t.Errorf("filtered stream has %d timed reads, want 2", reads)
+	}
+}
+
+func TestFilterByAnnotationNested(t *testing.T) {
+	// A matched span includes its nested child spans, and a match on a
+	// nested annotation pulls in only the inner span.
+	inner := span(11, "attempt:1", "attempt=1", trace.Event{Kind: trace.KindTimedRead, Value: 40})
+	events := span(10, "job:gate", "job=job-00000007", inner...)
+
+	whole := FilterByAnnotation(events, "job-00000007")
+	if len(whole) != len(events) {
+		t.Errorf("outer match kept %d of %d events", len(whole), len(events))
+	}
+	nested := FilterByAnnotation(events, "attempt=1")
+	if len(nested) != len(inner) {
+		t.Errorf("inner match kept %d events, want %d: %v", len(nested), len(inner), nested)
+	}
+	for _, e := range nested {
+		if e.Kind == trace.KindSpanBegin && e.Value != 11 {
+			t.Errorf("inner match leaked outer span begin: %v", e)
+		}
+	}
+}
