@@ -38,21 +38,28 @@ fmt-check:
 ci: fmt-check vet staticcheck build race serve-smoke health-smoke
 
 # serve-smoke boots uwm-serve on an ephemeral port, runs the example
-# client and a one-shot uwm-top against it, and asserts a clean SIGTERM
-# drain (exit 0).
+# client under a known request id, fetches that job's flight-recording
+# by the id and pipes it through uwm-trace, runs a one-shot uwm-top,
+# and asserts a clean SIGTERM drain (exit 0) that leaves a post-mortem
+# dump behind.
 serve-smoke:
 	@tmpdir="$$(mktemp -d)"; \
 	trap 'rm -rf "$$tmpdir"' EXIT; \
 	$(GO) build -o "$$tmpdir/uwm-serve" ./cmd/uwm-serve; \
 	$(GO) build -o "$$tmpdir/uwm-top" ./cmd/uwm-top; \
-	"$$tmpdir/uwm-serve" -addr 127.0.0.1:0 -addr-file "$$tmpdir/addr" & \
+	$(GO) build -o "$$tmpdir/uwm-trace" ./cmd/uwm-trace; \
+	"$$tmpdir/uwm-serve" -addr 127.0.0.1:0 -addr-file "$$tmpdir/addr" \
+		-postmortem-dir "$$tmpdir/postmortem" & \
 	serve_pid=$$!; \
 	i=0; while [ ! -s "$$tmpdir/addr" ]; do \
 		i=$$((i + 1)); [ "$$i" -gt 100 ] && exit 1; sleep 0.1; \
 	done; \
-	$(GO) run ./examples/serve -addr "$$(cat "$$tmpdir/addr")" && \
+	$(GO) run ./examples/serve -addr "$$(cat "$$tmpdir/addr")" -request-id smoke-trace-1 && \
+	"$$tmpdir/uwm-trace" -from "http://$$(cat "$$tmpdir/addr")" -job smoke-trace-1 >/dev/null && \
+	"$$tmpdir/uwm-trace" -health -from "http://$$(cat "$$tmpdir/addr")" -job smoke-trace-1 >/dev/null && \
 	"$$tmpdir/uwm-top" -addr "http://$$(cat "$$tmpdir/addr")" -once >/dev/null && \
-	kill -TERM "$$serve_pid" && wait "$$serve_pid"
+	kill -TERM "$$serve_pid" && wait "$$serve_pid" && \
+	[ -s "$$tmpdir/postmortem/index.json" ] || { echo "post-mortem dump missing"; exit 1; }
 
 # health-smoke runs the deterministic drift-and-recalibrate scenario:
 # drifted noise flagged, exactly one recalibration, live == offline.

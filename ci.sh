@@ -32,7 +32,9 @@ tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/uwm-serve" ./cmd/uwm-serve
 go build -o "$tmpdir/uwm-top" ./cmd/uwm-top
-"$tmpdir/uwm-serve" -addr 127.0.0.1:0 -addr-file "$tmpdir/addr" &
+go build -o "$tmpdir/uwm-trace" ./cmd/uwm-trace
+"$tmpdir/uwm-serve" -addr 127.0.0.1:0 -addr-file "$tmpdir/addr" \
+	-postmortem-dir "$tmpdir/postmortem" &
 serve_pid=$!
 i=0
 while [ ! -s "$tmpdir/addr" ]; do
@@ -44,10 +46,18 @@ while [ ! -s "$tmpdir/addr" ]; do
 	fi
 	sleep 0.1
 done
-go run ./examples/serve -addr "$(cat "$tmpdir/addr")"
+go run ./examples/serve -addr "$(cat "$tmpdir/addr")" -request-id smoke-trace-1
+# The job's flight-recording resolves by the caller-chosen request id,
+# straight from the live server into the offline analyzer.
+"$tmpdir/uwm-trace" -from "http://$(cat "$tmpdir/addr")" -job smoke-trace-1 >/dev/null
+"$tmpdir/uwm-trace" -health -from "http://$(cat "$tmpdir/addr")" -job smoke-trace-1 >/dev/null
 "$tmpdir/uwm-top" -addr "http://$(cat "$tmpdir/addr")" -once >/dev/null
 kill -TERM "$serve_pid"
 wait "$serve_pid" # set -e: a non-zero exit here means the drain was not clean
+if [ ! -s "$tmpdir/postmortem/index.json" ]; then
+	echo "graceful drain left no post-mortem dump"
+	exit 1
+fi
 
 echo "== gate-health smoke =="
 # The deterministic drift scenario: a drifted-noise machine must be

@@ -8,11 +8,18 @@
 //	uwm-serve -attempts 3 -vote 2              # vote-of-3 redundancy per job
 //	uwm-serve -addr 127.0.0.1:0 -addr-file a   # ephemeral port, written to a
 //	uwm-serve -metrics -trace-out run.jsonl    # observability surfaces
+//	uwm-serve -flight-head-rate 0.1 \
+//	          -postmortem-dir /tmp/uwm-pm      # flight recorder tuning
 //
 // Submit work with plain HTTP:
 //
 //	curl -X POST localhost:8080/v1/jobs?wait=1 \
 //	     -d '{"type":"gate","params":{"gate":"TSX_XOR"}}'
+//
+// Per-job flight recordings resolve by job id, X-Request-Id or W3C
+// traceparent trace-id at GET /v1/jobs/{id}/trace (?format=jsonl or
+// chrome); GET /v1/traces lists keep decisions and /v1/traces/stream
+// tails them over SSE.
 //
 // SIGINT/SIGTERM drains gracefully: intake stops, queued and in-flight
 // jobs finish (bounded by -drain-timeout), then the process exits 0.
@@ -32,6 +39,7 @@ import (
 
 	"uwm/internal/engine"
 	"uwm/internal/engine/httpapi"
+	"uwm/internal/flightrec"
 	"uwm/internal/metrics"
 	"uwm/internal/obs"
 )
@@ -58,6 +66,13 @@ func realMain(args []string, sigs <-chan os.Signal) int {
 		vote     = fs.Int("vote", 1, "default agreement count a result needs to win early")
 		timeout  = fs.Duration("timeout", 60*time.Second, "default per-job execution deadline")
 		drain    = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for queued and in-flight jobs")
+
+		flight         = fs.Bool("flight", true, "record per-job traces in the flight recorder (GET /v1/jobs/{id}/trace)")
+		flightKeep     = fs.Int("flight-keep", 64, "healthy kept traces retained (LRU)")
+		flightErrors   = fs.Int("flight-errors", 16, "error traces pinned against eviction by healthy traffic")
+		flightHeadRate = fs.Float64("flight-head-rate", 1, "probability a healthy job's trace is kept (errors, disagreements, retries, drift and slow jobs are always kept)")
+		flightEvents   = fs.Int("flight-events", 4096, "per-job trace buffer bound; past it the oldest events are dropped")
+		postmortemDir  = fs.String("postmortem-dir", "", "dump kept traces to this directory on drain or worker panic")
 	)
 	var obsCfg obs.Config
 	obsCfg.AddFlags(fs)
@@ -78,6 +93,19 @@ func realMain(args []string, sigs <-chan os.Signal) int {
 	reg := sess.Registry
 	if reg == nil {
 		reg = metrics.NewRegistry()
+		obs.RegisterBuildInfo(reg)
+	}
+
+	var rec *flightrec.Recorder
+	if *flight {
+		rec = flightrec.New(flightrec.Config{
+			MaxKept:           *flightKeep,
+			ErrorRing:         *flightErrors,
+			HeadRate:          *flightHeadRate,
+			MaxEventsPerTrace: *flightEvents,
+			PostmortemDir:     *postmortemDir,
+			Metrics:           reg,
+		})
 	}
 
 	eng, err := engine.New(engine.Config{
@@ -89,6 +117,7 @@ func realMain(args []string, sigs <-chan os.Signal) int {
 		DefaultTimeout:  *timeout,
 		Metrics:         reg,
 		Sink:            sess.Sink,
+		FlightRec:       rec,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "uwm-serve:", err)
@@ -146,6 +175,17 @@ func realMain(args []string, sigs <-chan os.Signal) int {
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "uwm-serve:", err)
 		code = 1
+	}
+	// Post-mortem: with the engine drained every capture is decided, so
+	// the dump is the complete record of what this process kept.
+	if rec != nil && *postmortemDir != "" {
+		n, err := rec.Dump(*postmortemDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uwm-serve: post-mortem dump:", err)
+			code = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "uwm-serve: wrote %d flight-record(s) to %s\n", n, *postmortemDir)
+		}
 	}
 	return code
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -13,9 +14,12 @@ import (
 
 // TestServeLifecycle drives the binary's whole life in-process: boot
 // on an ephemeral port, serve a synchronous job and a health check,
-// then drain cleanly on SIGTERM with exit code 0.
+// fetch the job's flight-recording by request id, then drain cleanly on
+// SIGTERM with exit code 0 and a post-mortem dump on disk.
 func TestServeLifecycle(t *testing.T) {
-	addrFile := filepath.Join(t.TempDir(), "addr")
+	tmp := t.TempDir()
+	addrFile := filepath.Join(tmp, "addr")
+	postmortemDir := filepath.Join(tmp, "postmortem")
 	sigs := make(chan os.Signal, 1)
 	exit := make(chan int, 1)
 	go func() {
@@ -25,6 +29,7 @@ func TestServeLifecycle(t *testing.T) {
 			"-workers", "2",
 			"-queue", "8",
 			"-drain-timeout", "30s",
+			"-postmortem-dir", postmortemDir,
 		}, sigs)
 	}()
 
@@ -51,8 +56,14 @@ func TestServeLifecycle(t *testing.T) {
 		t.Fatalf("healthz status %d", resp.StatusCode)
 	}
 
-	resp, err = http.Post(base+"/v1/jobs?wait=1", "application/json",
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs?wait=1",
 		strings.NewReader(`{"type":"gate","params":{"gate":"TSX_XOR","random":4}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", "req-lifecycle-1")
+	resp, err = http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -60,6 +71,7 @@ func TestServeLifecycle(t *testing.T) {
 		t.Fatalf("submit status %d, want 200", resp.StatusCode)
 	}
 	var snap struct {
+		ID     string          `json:"id"`
 		Status string          `json:"status"`
 		Result json.RawMessage `json:"result"`
 	}
@@ -71,13 +83,34 @@ func TestServeLifecycle(t *testing.T) {
 		t.Fatalf("job did not complete: %+v", snap)
 	}
 
+	// The flight recorder runs by default; the job's trace resolves under
+	// the caller-chosen request id.
+	resp, err = http.Get(base + "/v1/jobs/req-lifecycle-1/trace")
+	if err != nil {
+		t.Fatalf("trace fetch: %v", err)
+	}
+	traceBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch status %d err %v", resp.StatusCode, err)
+	}
+	if len(traceBody) == 0 {
+		t.Fatal("empty flight-recording")
+	}
+
 	resp, err = http.Get(base + "/metrics")
 	if err != nil {
 		t.Fatalf("/metrics: %v", err)
 	}
+	expo, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("/metrics status %d", resp.StatusCode)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d err %v", resp.StatusCode, err)
+	}
+	for _, want := range []string{"uwm_build_info{", "uwm_flightrec_decisions_total{", "uwm_flightrec_capacity{"} {
+		if !strings.Contains(string(expo), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
 	}
 
 	sigs <- syscall.SIGTERM
@@ -92,6 +125,32 @@ func TestServeLifecycle(t *testing.T) {
 
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Error("server still answering after drain")
+	}
+
+	// The drain left a post-mortem dump: the kept trace's JSONL file and
+	// an index naming the job.
+	b, err := os.ReadFile(filepath.Join(postmortemDir, "index.json"))
+	if err != nil {
+		t.Fatalf("post-mortem index not written: %v", err)
+	}
+	var entries []struct {
+		ID        string `json:"id"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(b, &entries); err != nil {
+		t.Fatalf("post-mortem index: %v", err)
+	}
+	found := false
+	for _, e := range entries {
+		if e.ID == snap.ID && e.RequestID == "req-lifecycle-1" {
+			found = true
+			if _, err := os.Stat(filepath.Join(postmortemDir, e.ID+".jsonl")); err != nil {
+				t.Errorf("post-mortem trace file missing: %v", err)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("job %s missing from post-mortem index: %+v", snap.ID, entries)
 	}
 }
 

@@ -1,8 +1,9 @@
 // Command uwm-top is a live terminal view of a running uwm-serve: it
-// polls the service's /healthz, /v1/health/detail and /metrics
-// endpoints and renders per-worker gate health — timing-margin
+// polls the service's /healthz, /v1/health/detail, /v1/traces and
+// /metrics endpoints and renders per-worker gate health — timing-margin
 // histograms, drift verdicts, calibration counts — next to the pool's
-// throughput counters.
+// throughput counters and the flight recorder's most recent kept
+// traces.
 //
 //	uwm-serve -addr :8080 &
 //	uwm-top -addr http://localhost:8080             # refresh every 2s
@@ -54,6 +55,19 @@ type healthzView struct {
 type workerView struct {
 	Worker   int             `json:"worker"`
 	Snapshot health.Snapshot `json:"health"`
+}
+
+// traceView mirrors the fields of a flightrec.Entry this console
+// displays.
+type traceView struct {
+	ID             string  `json:"id"`
+	RequestID      string  `json:"request_id"`
+	Type           string  `json:"type"`
+	Status         string  `json:"status"`
+	Reason         string  `json:"reason"`
+	Pinned         bool    `json:"pinned"`
+	Events         int     `json:"events"`
+	LatencySeconds float64 `json:"latency_seconds"`
 }
 
 // realMain returns main's exit code so tests can drive the CLI.
@@ -120,15 +134,52 @@ func renderFrame(base string, width int) (string, error) {
 	if len(counters) > 0 {
 		b.WriteString("totals:")
 		for _, c := range counters {
-			fmt.Fprintf(&b, " %s=%d", strings.TrimSuffix(strings.TrimPrefix(c.name, "uwm_engine_"), "_total"), c.value)
+			name := strings.TrimPrefix(c.name, "uwm_engine_")
+			name = strings.TrimPrefix(name, "uwm_flightrec_")
+			name = strings.TrimPrefix(name, "uwm_trace_")
+			fmt.Fprintf(&b, " %s=%d", strings.TrimSuffix(name, "_total"), c.value)
 		}
 		b.WriteByte('\n')
 	}
+	renderTraces(&b, base)
 	for _, w := range workers {
 		fmt.Fprintf(&b, "\n-- worker %d --\n", w.Worker)
 		b.WriteString(health.RenderSnapshot(w.Snapshot, width))
 	}
 	return b.String(), nil
+}
+
+// tracePanelRows caps how many kept traces the panel lists; the full
+// index stays one `curl /v1/traces` away.
+const tracePanelRows = 5
+
+// renderTraces appends the flight-recorder panel. A server running
+// without a recorder (404) or an older one without the endpoint just
+// omits the panel — the console must keep working against both.
+func renderTraces(b *strings.Builder, base string) {
+	var entries []traceView
+	if err := getJSON(base+"/v1/traces", &entries); err != nil {
+		return
+	}
+	pinned := 0
+	for _, e := range entries {
+		if e.Pinned {
+			pinned++
+		}
+	}
+	fmt.Fprintf(b, "flight recorder: %d kept trace(s), %d pinned error(s)\n", len(entries), pinned)
+	for i, e := range entries {
+		if i == tracePanelRows {
+			fmt.Fprintf(b, "  … %d more\n", len(entries)-tracePanelRows)
+			break
+		}
+		pin := ""
+		if e.Pinned {
+			pin = " [pinned]"
+		}
+		fmt.Fprintf(b, "  %-13s %-7s %-8s keep=%-12s %6.1fms %5d ev%s  req=%s\n",
+			e.ID, e.Type, e.Status, e.Reason, e.LatencySeconds*1e3, e.Events, pin, e.RequestID)
+	}
 }
 
 func getJSON(url string, dst any) error {
@@ -165,6 +216,8 @@ func scrapeCounters(url string) ([]counter, error) {
 		"uwm_engine_retries_total":            true,
 		"uwm_engine_recalibrations_total":     true,
 		"uwm_engine_vote_disagreements_total": true,
+		"uwm_trace_dropped_events_total":      true,
+		"uwm_flightrec_evictions_total":       true,
 	}
 	sums := map[string]uint64{}
 	for _, line := range strings.Split(string(body), "\n") {
@@ -190,8 +243,12 @@ func scrapeCounters(url string) ([]counter, error) {
 }
 
 // splitSample splits `name{labels} value` or `name value` into the bare
-// metric name and the value text.
+// metric name and the value text. OpenMetrics exemplars (` # {...} v`
+// after the value) are stripped first.
 func splitSample(line string) (name, value string, ok bool) {
+	if i := strings.Index(line, " # "); i >= 0 {
+		line = line[:i]
+	}
 	sp := strings.LastIndexByte(line, ' ')
 	if sp < 0 {
 		return "", "", false

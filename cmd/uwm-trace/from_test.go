@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"uwm/internal/health"
+)
+
+// traceServer mimics uwm-serve's flight-recorder endpoint: it serves
+// the JSONL recording at /v1/jobs/{id}/trace for one known id and 404s
+// everything else.
+func traceServer(t *testing.T, id string, body []byte) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs/"+id+"/trace" {
+			w.WriteHeader(http.StatusNotFound)
+			w.Write([]byte(`{"error":"no kept trace for this id"}`))
+			return
+		}
+		if got := r.URL.Query().Get("format"); got != "jsonl" {
+			t.Errorf("fetch used format %q, want jsonl", got)
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write(body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestCLIFromFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	writeGateTrace(t, path)
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := traceServer(t, "job-00000001", body)
+
+	// Analyze mode straight off the wire.
+	if code := realMain([]string{"-from", srv.URL, "-job", "job-00000001"}); code != 0 {
+		t.Fatalf("-from analyze: exit %d", code)
+	}
+
+	// Health mode: the fetched recording replays through the monitor
+	// exactly like a local file (a trailing slash on the base URL is
+	// tolerated).
+	out := stdoutTo(t)
+	if code := realMain([]string{"-health", "-format", "json", "-from", srv.URL + "/", "-job", "job-00000001"}); code != 0 {
+		t.Fatalf("-from -health: exit %d", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap health.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("health output is not a snapshot: %v\n%s", err, data)
+	}
+	if snap.Reads == 0 || snap.Threshold == 0 {
+		t.Errorf("fetched replay saw no reads: %+v", snap)
+	}
+}
+
+func TestCLIFromErrors(t *testing.T) {
+	srv := traceServer(t, "job-00000001", nil)
+
+	// -from without -job is a usage error.
+	if code := realMain([]string{"-from", srv.URL}); code != 2 {
+		t.Errorf("-from without -job: exit %d, want 2", code)
+	}
+	// -from plus a positional file argument is a usage error.
+	if code := realMain([]string{"-from", srv.URL, "-job", "x", "extra.jsonl"}); code != 2 {
+		t.Errorf("-from with file arg: exit %d, want 2", code)
+	}
+	// An id the recorder never kept surfaces the server's 404.
+	if code := realMain([]string{"-from", srv.URL, "-job", "job-unknown"}); code != 1 {
+		t.Errorf("-from unknown id: exit %d, want 1", code)
+	}
+	// An unreachable server is a runtime error, not a crash.
+	srv.Close()
+	if code := realMain([]string{"-from", srv.URL, "-job", "job-00000001"}); code != 1 {
+		t.Errorf("-from dead server: exit %d, want 1", code)
+	}
+}

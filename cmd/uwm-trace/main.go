@@ -24,6 +24,13 @@
 //	uwm-trace -health run.jsonl             # margin histogram + drift verdict
 //	uwm-trace -health -format json run.jsonl
 //	uwm-trace -job job-00000003 run.jsonl   # only that job's spans
+//
+// With -from, the recording is fetched from a live (or recently live)
+// uwm-serve flight recorder instead of a file — the post-mortem loop
+// without ever touching the server's disk:
+//
+//	uwm-trace -from http://127.0.0.1:8080 -job job-00000003
+//	uwm-trace -from http://127.0.0.1:8080 -job <request id> -health
 package main
 
 import (
@@ -31,7 +38,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/url"
 	"os"
+	"strings"
 
 	"uwm/internal/health"
 	"uwm/internal/trace"
@@ -52,8 +62,10 @@ func realMain(args []string) int {
 	maxOverlaps := fs.Int("max-overlaps", 8, "contention incidents to list individually (counts stay exact)")
 	healthMode := fs.Bool("health", false, "replay the trace through the gate-health monitor instead of analyzing it")
 	job := fs.String("job", "", "restrict to spans annotated with this job or request id")
+	from := fs.String("from", "", "fetch the trace from this uwm-serve base URL's flight recorder (requires -job) instead of reading a file")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: uwm-trace [-format table|json] [-health] [-job id] <trace.jsonl | ->\n")
+		fmt.Fprintf(fs.Output(), "       uwm-trace [-format table|json] [-health] -from http://host:port -job id\n")
 		fmt.Fprintf(fs.Output(), "       uwm-trace profile [-format top|folded|pprof] [-top n] [-o file] <trace.jsonl | ->\n")
 		fs.PrintDefaults()
 	}
@@ -64,17 +76,37 @@ func realMain(args []string) int {
 		fmt.Fprintf(os.Stderr, "uwm-trace: unknown format %q (want table or json)\n", *format)
 		return 2
 	}
-	if fs.NArg() != 1 {
-		fs.Usage()
-		return 2
-	}
 
-	parsed, code := parseArg(fs.Arg(0))
+	var (
+		parsed *traceanalyze.ParseResult
+		code   int
+	)
+	fetched := *from != ""
+	if fetched {
+		if *job == "" {
+			fmt.Fprintln(os.Stderr, "uwm-trace: -from requires -job <job or request id>")
+			return 2
+		}
+		if fs.NArg() != 0 {
+			fs.Usage()
+			return 2
+		}
+		parsed, code = fetchTrace(*from, *job)
+	} else {
+		if fs.NArg() != 1 {
+			fs.Usage()
+			return 2
+		}
+		parsed, code = parseArg(fs.Arg(0))
+	}
 	if parsed == nil {
 		return code
 	}
 	events := parsed.Events
-	if *job != "" {
+	// A fetched flight-record is already scoped to one job and seeded
+	// with the monitor's state checkpoint, so the annotation filter (and
+	// its calibration merge) only applies to on-disk multi-job streams.
+	if *job != "" && !fetched {
 		if events = traceanalyze.FilterByAnnotation(events, *job); len(events) == 0 {
 			fmt.Fprintf(os.Stderr, "uwm-trace: no spans annotated with %q in the trace\n", *job)
 			return 1
@@ -82,7 +114,7 @@ func realMain(args []string) int {
 	}
 
 	if *healthMode {
-		if *job != "" {
+		if *job != "" && !fetched {
 			// A job-filtered replay still needs the calibration events:
 			// they fire at machine construction and on recalibration,
 			// outside any job span, and carry the threshold every margin
@@ -203,6 +235,35 @@ func profileMain(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// fetchTrace downloads a kept flight-record from a live uwm-serve
+// (GET /v1/jobs/{id}/trace?format=jsonl) and parses it with the same
+// truncation handling as a file, so a trace cut off by a dying
+// connection still analyzes its intact prefix. A nil result carries
+// the exit code.
+func fetchTrace(base, id string) (*traceanalyze.ParseResult, int) {
+	u := strings.TrimRight(base, "/") + "/v1/jobs/" + url.PathEscape(id) + "/trace?format=jsonl"
+	resp, err := http.Get(u)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uwm-trace: %v\n", err)
+		return nil, 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fmt.Fprintf(os.Stderr, "uwm-trace: %s: %s\n%s", u, resp.Status, body)
+		return nil, 1
+	}
+	parsed, err := traceanalyze.ParseJSONL(resp.Body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uwm-trace: %v\n", err)
+		return nil, 1
+	}
+	if parsed.Truncated {
+		fmt.Fprintf(os.Stderr, "uwm-trace: warning: truncated final line dropped; analyzing the %d-event prefix\n", len(parsed.Events))
+	}
+	return parsed, 0
 }
 
 // parseArg reads a JSONL recording from the path or stdin ("-"),

@@ -28,6 +28,7 @@ import (
 func main() {
 	addr := flag.String("addr", "", "uwm-serve address; empty self-hosts an in-process service")
 	msg := flag.String("message", "computing with time", "message to hash on the weird machine")
+	reqID := flag.String("request-id", "", "X-Request-Id to submit under, so the job's flight-record is retrievable by a caller-chosen id")
 	flag.Parse()
 
 	base := *addr
@@ -46,7 +47,15 @@ func main() {
 	// Submit asynchronously: vote-of-2-out-of-3 redundant hashes, so a
 	// gate error in one attempt is outvoted by the two clean ones.
 	body := fmt.Sprintf(`{"type":"sha1","params":{"message":%q},"attempts":3,"vote":2}`, *msg)
-	resp, err := client.Post("http://"+base+"/v1/jobs", "application/json", strings.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, "http://"+base+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if *reqID != "" {
+		req.Header.Set("X-Request-Id", *reqID)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +74,11 @@ func main() {
 		log.Fatal(err)
 	}
 	resp.Body.Close()
-	fmt.Printf("submitted %s (%d): status %q\n", snap.ID, resp.StatusCode, snap.Status)
+	if *reqID != "" {
+		fmt.Printf("submitted %s as request %s (%d): status %q\n", snap.ID, *reqID, resp.StatusCode, snap.Status)
+	} else {
+		fmt.Printf("submitted %s (%d): status %q\n", snap.ID, resp.StatusCode, snap.Status)
+	}
 
 	// Poll until the job is terminal.
 	for snap.Status == "queued" || snap.Status == "running" {

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"uwm/internal/flightrec"
 	"uwm/internal/health"
 	"uwm/internal/metrics"
 	"uwm/internal/noise"
@@ -148,6 +149,14 @@ type Config struct {
 	// drift detector fires, the worker finishes the job in hand and
 	// recalibrates its machine before taking the next one.
 	Health *health.Config
+	// FlightRec, when non-nil, gives every job a private bounded trace
+	// capture: each worker's machine is teed into a per-worker tap that
+	// the worker points at the running job's capture, and at completion
+	// the recorder's tail-based sampling decides whether the capture is
+	// kept for retrieval. Captures are seeded with the worker monitor's
+	// drift-state checkpoint so a kept trace replays to the live health
+	// verdict on its own.
+	FlightRec *flightrec.Recorder
 }
 
 func (c Config) normalized() Config {
@@ -229,6 +238,7 @@ type Engine struct {
 	wg       sync.WaitGroup
 
 	rejected *metrics.Counter
+	flight   *flightrec.Recorder
 }
 
 // New builds the pool: Workers rigs are constructed concurrently (each
@@ -266,6 +276,7 @@ func New(cfg Config) (*Engine, error) {
 		jobs:     make(map[string]*Job),
 		baseCtx:  ctx,
 		hardStop: cancel,
+		flight:   cfg.FlightRec,
 	}
 	e.registerMetrics()
 	for _, rig := range rigs {
@@ -310,6 +321,11 @@ func (e *Engine) registerMetrics() {
 
 // Seed returns the engine's root seed.
 func (e *Engine) Seed() uint64 { return e.cfg.Seed }
+
+// FlightRecorder returns the engine's flight recorder, or nil when the
+// engine runs without one — the serving layer's handle for the trace
+// retrieval endpoints.
+func (e *Engine) FlightRecorder() *flightrec.Recorder { return e.flight }
 
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.cfg.Workers }
@@ -508,10 +524,25 @@ func (e *Engine) runJob(rig *Rig, j *Job) {
 	defer e.inflight.Add(-1)
 	j.setRunning()
 
+	// Open the job's private trace capture and point the worker's tap at
+	// it. The capture is seeded with the health monitor's drift-state
+	// checkpoint so a kept recording replays to the live verdict without
+	// needing any earlier job's events.
+	var capture *flightrec.Capture
+	if e.flight != nil {
+		capture = e.flight.Begin(flightrec.Meta{
+			JobID:     j.id,
+			RequestID: j.spec.RequestID,
+			Type:      j.spec.Type,
+		})
+		capture.Seed(rig.Health.StateEvent())
+		rig.Tap.Set(capture)
+	}
+
 	ctx, cancel := context.WithTimeout(e.baseCtx, j.spec.Timeout)
 	defer cancel()
 
-	res, err := e.attempts(ctx, rig, j)
+	res, panicked, err := e.attempts(ctx, rig, j)
 	reg := e.cfg.Metrics
 	typeLabel := metrics.L("type", j.spec.Type)
 	switch {
@@ -532,11 +563,52 @@ func (e *Engine) runJob(rig *Rig, j *Job) {
 	reg.Counter(MetricJobs, "jobs by terminal status",
 		typeLabel, metrics.L("status", string(st))).Inc()
 	snap := j.Snapshot()
-	if snap.Started != nil && snap.Finished != nil {
-		reg.Histogram(MetricJobLatSec, "job execution wall time in seconds",
-			jobSecondsBuckets, typeLabel).
-			Observe(snap.Finished.Sub(*snap.Started).Seconds())
+	var latency time.Duration
+	hasLatency := snap.Started != nil && snap.Finished != nil
+	if hasLatency {
+		latency = snap.Finished.Sub(*snap.Started)
 	}
+
+	var decision flightrec.Decision
+	if capture != nil {
+		rig.Tap.Set(nil)
+		outcome := flightrec.Outcome{
+			Status:   string(st),
+			Error:    snap.Error,
+			Drifting: rig.Health.Drifting(),
+			Latency:  latency,
+		}
+		if res != nil {
+			outcome.Retries = res.Retries
+			outcome.Disagreement = res.Ballots > 1
+		}
+		verdict := rig.Health.Verdict()
+		outcome.Verdict = &verdict
+		decision = e.flight.Finish(capture, outcome)
+		if panicked {
+			// A handler panic is the post-mortem case par excellence: dump
+			// the recorder (the panicking job was just kept on error) while
+			// the evidence is fresh, in case the process does not survive
+			// whatever corrupted the handler. A failing dump must not take
+			// the worker down, so the error is deliberately dropped.
+			_, _ = e.flight.Postmortem()
+		}
+	}
+	if hasLatency {
+		h := reg.Histogram(MetricJobLatSec, "job execution wall time in seconds",
+			jobSecondsBuckets, typeLabel)
+		if decision.Kept {
+			// The exemplar ties the latency bucket to a retrievable trace:
+			// a spike on the histogram links straight to GET /v1/jobs/{id}/trace.
+			h.ObserveExemplar(latency.Seconds(), metrics.L("trace_id", j.id))
+		} else {
+			h.Observe(latency.Seconds())
+		}
+	}
+	// Only now wake Done() waiters: a synchronous client released any
+	// earlier could fetch the job's trace before the recorder decided to
+	// keep it and see a spurious 404.
+	j.signalDone()
 	e.retire(j)
 }
 
@@ -555,11 +627,27 @@ func (e *Engine) retire(j *Job) {
 	e.mu.Unlock()
 }
 
+// runHandler executes one attempt with panic isolation: a panicking
+// handler becomes an errored attempt instead of an unwound worker
+// goroutine (which would strand the queue and leak the job's span).
+func runHandler(ctx context.Context, h Handler, env *Env, params json.RawMessage) (value any, panicked bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			panicked = true
+			err = fmt.Errorf("engine: handler panic: %v", p)
+		}
+	}()
+	value, err = h(ctx, env, params)
+	return value, false, err
+}
+
 // attempts runs the redundant executions of one job and votes on the
 // results. Attempt a derives its seed as SubSeed(job sub-seed, a), so
 // the whole vote is a pure function of the job's sub-seed, wherever
-// and in whatever order the pool schedules it.
-func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job) (*Result, error) {
+// and in whatever order the pool schedules it. The panicked return
+// reports whether any attempt's handler panicked (every panic is also
+// an errored attempt).
+func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job) (*Result, bool, error) {
 	policy := e.cfg.Retry
 	if j.spec.Attempts > 0 {
 		policy.Attempts = j.spec.Attempts
@@ -580,6 +668,7 @@ func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job) (*Result, error
 	var ballots []string // first-seen order, the deterministic tie-break
 	res := &Result{}
 	var lastErr error
+	var sawPanic bool
 	backoff := policy.Backoff
 
 	for attempt := 0; attempt < policy.Attempts; attempt++ {
@@ -608,8 +697,11 @@ func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job) (*Result, error
 		env := &Env{rig: rig, rng: noise.NewRNG(noise.SubSeed(j.subSeed, ^uint64(0))), seed: seed}
 		sp := rig.Machine.BeginSpan("job:" + j.spec.Type)
 		rig.Machine.Annotate(j.annotation())
-		value, err := h(ctx, env, j.spec.Params)
+		value, panicked, err := runHandler(ctx, h, env, j.spec.Params)
 		rig.Machine.EndSpan(sp)
+		if panicked {
+			sawPanic = true
+		}
 		res.Attempts++
 		if err != nil {
 			lastErr = err
@@ -629,7 +721,7 @@ func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job) (*Result, error
 
 		raw, err := json.Marshal(value)
 		if err != nil {
-			return nil, fmt.Errorf("engine: %s result not serializable: %w", j.spec.Type, err)
+			return nil, sawPanic, fmt.Errorf("engine: %s result not serializable: %w", j.spec.Type, err)
 		}
 		key := string(raw)
 		if votes[key] == 0 {
@@ -645,8 +737,9 @@ func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job) (*Result, error
 			res.Value = json.RawMessage(key)
 			res.Votes = votes[key]
 			res.Quorum = true
+			res.Ballots = len(ballots)
 			e.countDisagreements(typeLabel, ballots)
-			return res, nil
+			return res, sawPanic, nil
 		}
 		// Stop early once no candidate can still reach the vote
 		// threshold with the attempts that remain.
@@ -665,7 +758,7 @@ func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job) (*Result, error
 		if lastErr == nil {
 			lastErr = errors.New("engine: no attempt produced a result")
 		}
-		return nil, lastErr
+		return nil, sawPanic, lastErr
 	}
 	// No quorum: the plurality winner stands, ties broken by first
 	// appearance (attempt order is deterministic, so this is too).
@@ -678,8 +771,9 @@ func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job) (*Result, error
 	res.Value = json.RawMessage(winner)
 	res.Votes = votes[winner]
 	res.Quorum = false
+	res.Ballots = len(ballots)
 	e.countDisagreements(typeLabel, ballots)
-	return res, nil
+	return res, sawPanic, nil
 }
 
 // countDisagreements records how many conflicting result candidates a

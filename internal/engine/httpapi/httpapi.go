@@ -1,24 +1,31 @@
 // Package httpapi exposes an engine.Engine as a small JSON-over-HTTP
 // job service. The surface is deliberately tiny:
 //
-//	POST /v1/jobs          submit a job; ?wait=1 (or "wait": true) blocks
-//	                       for the result, otherwise 202 + a pollable id
-//	GET  /v1/jobs          list retained jobs
-//	GET  /v1/jobs/{id}     poll one job
-//	GET  /v1/types         registered job types
-//	GET  /v1/health/detail per-worker gate-health snapshots
-//	GET  /healthz          pool stats; 503 once the engine is draining
-//	                       or a quorum of workers is unhealthy
+//	POST /v1/jobs            submit a job; ?wait=1 (or "wait": true) blocks
+//	                         for the result, otherwise 202 + a pollable id
+//	GET  /v1/jobs            list retained jobs
+//	GET  /v1/jobs/{id}       poll one job
+//	GET  /v1/jobs/{id}/trace download the job's flight-recording
+//	                         (?format=jsonl|chrome; job or request id)
+//	GET  /v1/traces          flight-recorder index: every kept trace's
+//	                         sampling decision and reason, newest first
+//	GET  /v1/traces/stream   SSE live tail of sampling decisions
+//	GET  /v1/types           registered job types
+//	GET  /v1/health/detail   per-worker gate-health snapshots
+//	GET  /healthz            pool stats; 503 once the engine is draining
+//	                         or a quorum of workers is unhealthy
 //
 // Backpressure maps directly: a full engine queue turns into HTTP 429
 // with a Retry-After hint, so load shedding happens at the edge
 // instead of by queue growth.
 //
 // Every response carries an X-Request-Id header: the caller's, when the
-// request had one, or a freshly generated id. Submissions propagate the
-// id into the job spec, where the engine attaches it to the job's trace
-// spans — one id correlates the HTTP exchange, the stored job snapshot
-// and the recorded trace.
+// request had one (a W3C traceparent's trace-id serves as fallback), or
+// a freshly generated id. Submissions propagate the id into the job
+// spec, where the engine attaches it to the job's trace spans — one id
+// correlates the HTTP exchange, the stored job snapshot and the
+// recorded trace, and the flight-recorder endpoints resolve it
+// interchangeably with the job id.
 package httpapi
 
 import (
@@ -26,11 +33,15 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"uwm/internal/engine"
+	"uwm/internal/flightrec"
+	"uwm/internal/trace"
 )
 
 // maxBodyBytes bounds a submission body; params are small JSON
@@ -98,6 +109,15 @@ func New(e *engine.Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, j.Snapshot())
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		jobTrace(e, w, r)
+	})
+	mux.HandleFunc("GET /v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		tracesIndex(e, w, r)
+	})
+	mux.HandleFunc("GET /v1/traces/stream", func(w http.ResponseWriter, r *http.Request) {
+		tracesStream(e, w, r)
+	})
 	mux.HandleFunc("GET /v1/types", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, engine.JobTypes())
 	})
@@ -130,13 +150,117 @@ func quorumUnhealthy(st engine.Stats) bool {
 	return st.Workers > 0 && 2*unhealthy > st.Workers
 }
 
+// jobTrace serves a kept flight-recording by job or request id, as
+// JSONL (the uwm-trace input format, default) or as a Chrome
+// trace_event document for chrome://tracing / Perfetto.
+func jobTrace(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+	fr := e.FlightRecorder()
+	if fr == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorBody{Error: "flight recorder disabled (engine started without one)"})
+		return
+	}
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "jsonl", "chrome":
+	default:
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{Error: fmt.Sprintf("unknown format %q (want jsonl or chrome)", format)})
+		return
+	}
+	kt, ok := fr.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			errorBody{Error: "no kept trace for this id (not sampled, evicted, or unknown)"})
+		return
+	}
+	w.Header().Set("X-Trace-Decision", kt.Entry.Reason)
+	if format == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		s := trace.NewChromeSink(w)
+		for _, ev := range kt.Events {
+			s.Emit(ev)
+		}
+		_ = s.Close() // the response writer is not a Closer; this only flushes
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = trace.EncodeJSONL(w, kt.Events)
+}
+
+// tracesIndex serves the flight recorder's index, newest first.
+func tracesIndex(e *engine.Engine, w http.ResponseWriter, _ *http.Request) {
+	fr := e.FlightRecorder()
+	if fr == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorBody{Error: "flight recorder disabled (engine started without one)"})
+		return
+	}
+	idx := fr.Index()
+	if idx == nil {
+		idx = []flightrec.Entry{}
+	}
+	writeJSON(w, http.StatusOK, idx)
+}
+
+// tracesStream is the SSE live tail: every sampling decision — kept or
+// dropped — streams to the client as one `decision` event. The
+// subscription is released when the client disconnects.
+func tracesStream(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+	fr := e.FlightRecorder()
+	if fr == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorBody{Error: "flight recorder disabled (engine started without one)"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError,
+			errorBody{Error: "streaming unsupported by this connection"})
+		return
+	}
+	ch, cancel := fr.Subscribe()
+	defer cancel()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": uwm flight-recorder live tail\n\n")
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case entry, open := <-ch:
+			if !open {
+				return
+			}
+			b, err := json.Marshal(entry)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: decision\ndata: %s\n\n", b)
+			fl.Flush()
+		}
+	}
+}
+
 // withRequestID ensures every request carries a correlation id and
-// every response echoes it.
+// every response echoes it. Inbound X-Request-Id wins; without one, the
+// trace-id of a W3C traceparent header is adopted so jobs submitted by
+// an instrumented client correlate under the caller's distributed
+// trace; otherwise a fresh id is generated.
 func withRequestID(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get(requestIDHeader)
 		if len(id) > maxRequestIDLen {
 			id = id[:maxRequestIDLen]
+		}
+		if id == "" {
+			if tid, ok := parseTraceparent(r.Header.Get("traceparent")); ok {
+				id = tid
+			}
 		}
 		if id == "" {
 			id = newRequestID()
@@ -145,6 +269,33 @@ func withRequestID(next http.Handler) http.Handler {
 		w.Header().Set(requestIDHeader, id)
 		next.ServeHTTP(w, r)
 	})
+}
+
+// parseTraceparent extracts the trace-id from a W3C traceparent header
+// ("version-traceid-parentid-flags", e.g. "00-4bf9…-00f0…-01"). An
+// all-zero trace-id is invalid per the spec and rejected.
+func parseTraceparent(h string) (string, bool) {
+	parts := strings.Split(h, "-")
+	if len(parts) != 4 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return "", false
+	}
+	zero := true
+	for _, c := range parts[1] {
+		switch {
+		case c >= '0' && c <= '9':
+			if c != '0' {
+				zero = false
+			}
+		case c >= 'a' && c <= 'f':
+			zero = false
+		default:
+			return "", false
+		}
+	}
+	if zero {
+		return "", false
+	}
+	return parts[1], true
 }
 
 // newRequestID generates a 16-hex-char random id. Randomness failures

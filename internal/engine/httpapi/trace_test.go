@@ -1,0 +1,325 @@
+package httpapi
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"uwm/internal/engine"
+	"uwm/internal/flightrec"
+)
+
+// submitGate sync-submits one gate job with the given request id and
+// returns the terminal snapshot.
+func submitGate(t *testing.T, base, requestID string) engine.Snapshot {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs?wait=1",
+		strings.NewReader(`{"type":"gate","params":{"gate":"TSX_XOR","random":4}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if requestID != "" {
+		req.Header.Set("X-Request-Id", requestID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var snap engine.Snapshot
+	decode(t, resp, &snap)
+	if snap.Status != engine.StatusDone {
+		t.Fatalf("job %s: %s (%s)", snap.ID, snap.Status, snap.Error)
+	}
+	return snap
+}
+
+func TestJobTraceEndpoint(t *testing.T) {
+	fr := flightrec.New(flightrec.Config{HeadRate: 1})
+	_, srv := newServer(t, engine.Config{Workers: 1, FlightRec: fr})
+	snap := submitGate(t, srv.URL, "req-trace-1")
+
+	// By job id, default (JSONL) format.
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + snap.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q, want application/x-ndjson", ct)
+	}
+	if d := resp.Header.Get("X-Trace-Decision"); d != flightrec.ReasonHead {
+		t.Errorf("X-Trace-Decision %q, want %q", d, flightrec.ReasonHead)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty trace body")
+	}
+	for i, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not JSON: %v (%q)", i, err, line)
+		}
+	}
+
+	// By request id: same trace.
+	resp, err = http.Get(srv.URL + "/v1/jobs/req-trace-1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byReq, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("by-request-id status %d err %v", resp.StatusCode, err)
+	}
+	if string(byReq) != string(body) {
+		t.Error("request-id fetch returned a different trace")
+	}
+
+	// Chrome format is a JSON array chrome://tracing loads.
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + snap.ID + "/trace?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chrome, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("chrome status %d err %v", resp.StatusCode, err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome, &doc); err != nil {
+		t.Fatalf("chrome body is not a trace_event document: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome document holds no events")
+	}
+}
+
+func TestJobTraceErrorPaths(t *testing.T) {
+	fr := flightrec.New(flightrec.Config{HeadRate: 1})
+	_, srv := newServer(t, engine.Config{Workers: 1, FlightRec: fr})
+	snap := submitGate(t, srv.URL, "")
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/no-such-job/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb errorBody
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id status %d, want 404", resp.StatusCode)
+	}
+	decode(t, resp, &eb)
+	if !strings.Contains(eb.Error, "no kept trace") {
+		t.Errorf("404 body %q does not explain the miss", eb.Error)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + snap.ID + "/trace?format=perfetto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad format status %d, want 400", resp.StatusCode)
+	}
+	decode(t, resp, &eb)
+	if !strings.Contains(eb.Error, "perfetto") {
+		t.Errorf("400 body %q does not name the bad format", eb.Error)
+	}
+}
+
+func TestTraceEndpointsWithoutRecorder(t *testing.T) {
+	_, srv := newServer(t, engine.Config{Workers: 1}) // no FlightRec
+	for _, path := range []string{"/v1/jobs/x/trace", "/v1/traces", "/v1/traces/stream"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s status %d, want 404", path, resp.StatusCode)
+		}
+		var eb errorBody
+		decode(t, resp, &eb)
+		if !strings.Contains(eb.Error, "disabled") {
+			t.Errorf("%s body %q does not say the recorder is disabled", path, eb.Error)
+		}
+	}
+}
+
+func TestTracesIndex(t *testing.T) {
+	fr := flightrec.New(flightrec.Config{HeadRate: 1})
+	_, srv := newServer(t, engine.Config{Workers: 1, FlightRec: fr})
+	snap := submitGate(t, srv.URL, "req-idx-1")
+
+	resp, err := http.Get(srv.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index status %d, want 200", resp.StatusCode)
+	}
+	var entries []flightrec.Entry
+	decode(t, resp, &entries)
+	if len(entries) != 1 {
+		t.Fatalf("index holds %d entries, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.ID != snap.ID || e.RequestID != "req-idx-1" || !e.Kept || e.Reason != flightrec.ReasonHead {
+		t.Fatalf("index entry %+v, want kept head sample for %s", e, snap.ID)
+	}
+}
+
+func TestTraceparentAdoptedAsRequestID(t *testing.T) {
+	fr := flightrec.New(flightrec.Config{HeadRate: 1})
+	_, srv := newServer(t, engine.Config{Workers: 1, FlightRec: fr})
+
+	traceID := "4bf92f3577b34da6a3ce929d0e0e4736"
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/jobs?wait=1",
+		strings.NewReader(`{"type":"gate","params":{"gate":"TSX_AND","random":2}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", "00-"+traceID+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != traceID {
+		t.Fatalf("X-Request-Id %q, want the traceparent trace-id %q", got, traceID)
+	}
+	var snap engine.Snapshot
+	decode(t, resp, &snap)
+	if snap.RequestID != traceID {
+		t.Fatalf("job request id %q, want %q", snap.RequestID, traceID)
+	}
+
+	// The flight recording resolves under the distributed trace id.
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + traceID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace by traceparent id status %d, want 200", resp.StatusCode)
+	}
+
+	// A malformed or all-zero traceparent is ignored, not adopted.
+	for _, bad := range []string{
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"garbage",
+		"00-shortid-00f067aa0ba902b7-01",
+	} {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"/healthz", nil)
+		req.Header.Set("traceparent", bad)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Request-Id"); got == "" || strings.Contains(bad, got) {
+			t.Errorf("traceparent %q: X-Request-Id %q, want a fresh id", bad, got)
+		}
+	}
+}
+
+func TestTracesStreamDeliversAndReleases(t *testing.T) {
+	fr := flightrec.New(flightrec.Config{}) // decisions stream even when dropped
+	e, srv := newServer(t, engine.Config{Workers: 1, FlightRec: fr})
+
+	resp, err := http.Get(srv.URL + "/v1/traces/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q, want text/event-stream", ct)
+	}
+
+	snap := submitGate(t, srv.URL, "req-sse-1")
+
+	sc := bufio.NewScanner(resp.Body)
+	var entry flightrec.Entry
+	found := false
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &entry); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		found = true
+		break
+	}
+	if !found {
+		t.Fatalf("no decision event on the stream: %v", sc.Err())
+	}
+	if entry.ID != snap.ID || entry.Kept || entry.Reason != flightrec.ReasonSampledOut {
+		t.Fatalf("streamed entry %+v, want sampled-out decision for %s", entry, snap.ID)
+	}
+
+	// Disconnecting must release the subscription.
+	resp.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for e.FlightRecorder().Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscription leaked: %d subscribers", e.FlightRecorder().Subscribers())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTraceRetrievalRacesCompletion hammers the trace endpoints while
+// jobs complete — the -race run is the assertion.
+func TestTraceRetrievalRacesCompletion(t *testing.T) {
+	fr := flightrec.New(flightrec.Config{HeadRate: 1, MaxKept: 4})
+	_, srv := newServer(t, engine.Config{Workers: 2, FlightRec: fr})
+
+	const jobs = 8
+	var wg sync.WaitGroup
+	ids := make(chan string, jobs)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < jobs; i++ {
+			ids <- submitGate(t, srv.URL, fmt.Sprintf("req-race-%d", i)).ID
+		}
+		close(ids)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for id := range ids {
+			for _, path := range []string{"/v1/traces", "/v1/jobs/" + id + "/trace"} {
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}()
+	wg.Wait()
+}

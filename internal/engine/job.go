@@ -74,6 +74,10 @@ type Result struct {
 	Quorum bool `json:"quorum"`
 	// Retries counts attempts that errored before a value was produced.
 	Retries int `json:"retries"`
+	// Ballots counts the distinct result candidates the attempts
+	// produced; more than one means the machine disagreed with itself —
+	// the flight recorder's keep-on-disagreement signal.
+	Ballots int `json:"ballots,omitempty"`
 }
 
 // Job is one submitted unit of work. All accessors are safe for
@@ -183,6 +187,10 @@ func (j *Job) setRunning() {
 	j.mu.Unlock()
 }
 
+// finish records the terminal state without waking Done() waiters.
+// The worker signals completion separately (signalDone) only after the
+// flight-recorder decision is in place — a waiter released here could
+// immediately GET the job's trace, and must not race the keep decision.
 func (j *Job) finish(st Status, res *Result, errMsg string) {
 	j.mu.Lock()
 	j.status = st
@@ -190,5 +198,8 @@ func (j *Job) finish(st Status, res *Result, errMsg string) {
 	j.err = errMsg
 	j.finished = time.Now()
 	j.mu.Unlock()
+}
+
+func (j *Job) signalDone() {
 	close(j.done)
 }

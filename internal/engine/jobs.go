@@ -112,6 +112,12 @@ type GateParams struct {
 	// Random adds this many uniformly drawn input vectors (from the
 	// attempt's derived RNG) when Inputs is empty; default 16.
 	Random int `json:"random,omitempty"`
+	// MinAccuracy, when positive, is a quality floor: the attempt fails
+	// with an error when the run's accuracy lands below it. Under a
+	// fixed sub-seed the whole evaluation is deterministic, so a floor
+	// plus injected drift is the reproducible way to force a job failure
+	// — the flight recorder's keep-on-error path exercised on demand.
+	MinAccuracy float64 `json:"min_accuracy,omitempty"`
 }
 
 // GateResult reports every activation's outputs next to the golden
@@ -195,8 +201,14 @@ func runGateJob(ctx context.Context, env *Env, params json.RawMessage) (any, err
 	}
 	// Feed the scored outcomes to the worker's health monitor: margins
 	// arrive via the trace tap, but correctness only the handler knows.
+	// This happens before the quality floor fires so a failing run still
+	// updates the error EWMAs — the monitor must see the bad batch.
 	if h := env.Rig().Health; h != nil {
 		h.ObserveOutcome(res.Gate, res.Correct, res.Total)
+	}
+	if p.MinAccuracy > 0 && res.Accuracy < p.MinAccuracy {
+		return nil, fmt.Errorf("engine: gate %s accuracy %.3f below floor %.3f (%d/%d correct)",
+			p.Gate, res.Accuracy, p.MinAccuracy, res.Correct, res.Total)
 	}
 	return res, nil
 }

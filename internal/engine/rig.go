@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"uwm/internal/core"
+	"uwm/internal/flightrec"
 	"uwm/internal/health"
 	"uwm/internal/noise"
 	"uwm/internal/sha1wm"
@@ -40,6 +41,11 @@ type Rig struct {
 	// DC is the data-cache weird register backing the covert-channel
 	// job type.
 	DC core.WeirdRegister
+	// Tap is the worker's switchpoint into the flight recorder: the
+	// worker points it at the running job's capture so the machine's
+	// event stream lands in the job's private buffer as well as the
+	// shared sink. Nil when the engine runs without a flight recorder.
+	Tap *flightrec.Tap
 }
 
 // BPGate returns the named branch-predictor-family gate, or nil.
@@ -55,6 +61,15 @@ func newRig(cfg Config, sink trace.Sink, id int) (*Rig, error) {
 		hcfg = *cfg.Health
 	}
 	mon := health.NewMonitor(hcfg)
+	// The flight-recorder tap rides the sink path, not the health tap:
+	// the machine emits the same timed-read and calibration events to
+	// both, so a per-job capture sees exactly the reads the monitor saw —
+	// the property the replayed-verdict guarantee rests on.
+	var tap *flightrec.Tap
+	if cfg.FlightRec != nil {
+		tap = flightrec.NewTap()
+		sink = trace.Tee(sink, tap)
+	}
 	m, err := core.NewMachine(core.Options{
 		Seed:            cfg.Seed,
 		Noise:           *cfg.Noise,
@@ -83,7 +98,7 @@ func newRig(cfg Config, sink trace.Sink, id int) (*Rig, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: building covert register: %w", err)
 	}
-	return &Rig{ID: id, Machine: m, Health: mon, Skelly: sk, Hasher: sha1wm.New(sk), TSX: tsx, DC: dc}, nil
+	return &Rig{ID: id, Machine: m, Health: mon, Skelly: sk, Hasher: sha1wm.New(sk), TSX: tsx, DC: dc, Tap: tap}, nil
 }
 
 // Env is what a job handler executes against: the worker's pinned rig

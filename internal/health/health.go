@@ -26,6 +26,7 @@
 package health
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -198,7 +199,100 @@ func (m *Monitor) Emit(e trace.Event) {
 		m.mu.Lock()
 		m.observeReadLocked(gate, bit, int64(e.Value), e.Cycle)
 		m.mu.Unlock()
+	case trace.KindAnnotation:
+		if strings.HasPrefix(e.Text, StateEventPrefix) {
+			m.applyState(e.Text[len(StateEventPrefix):])
+		}
 	}
+}
+
+// StateEventPrefix marks an annotation event carrying a serialized
+// drift-detector checkpoint (see StateEvent).
+const StateEventPrefix = "health-state "
+
+// driftState is the wire form of the machine-level drift-detector state
+// a StateEvent checkpoint carries. Per-gate windows are deliberately
+// absent: the drift verdict is machine-level, and the checkpoint exists
+// to make that verdict — not the cosmetic per-gate histograms —
+// replayable from a partial stream.
+type driftState struct {
+	Threshold            int64     `json:"threshold"`
+	Calibrations         int64     `json:"calibrations"`
+	LastCalibrationCycle int64     `json:"last_calibration_cycle"`
+	LastCycle            int64     `json:"last_cycle"`
+	Reads                int64     `json:"reads"`
+	Outliers             int64     `json:"outliers"`
+	Baseline             []float64 `json:"baseline,omitempty"`
+	BaselineMean         float64   `json:"baseline_mean"`
+	BaselineStd          float64   `json:"baseline_std"`
+	BaselineReady        bool      `json:"baseline_ready"`
+	CUSUM                float64   `json:"cusum"`
+	Drifting             bool      `json:"drifting"`
+	MarginEWMA           float64   `json:"margin_ewma"`
+	MarginInit           bool      `json:"margin_init"`
+}
+
+// StateEvent checkpoints the monitor's machine-level drift state as an
+// annotation event. Seeding a per-job trace capture with this event
+// before the job's own events makes the capture self-contained:
+// replaying it through a fresh Monitor first restores the detector's
+// mid-stream state (threshold, baseline, CUSUM, latched verdict), so
+// the replayed drift verdict matches the live one even though the
+// capture holds only one job's reads. JSON round-trips float64 values
+// exactly (shortest-representation encoding), which is what makes the
+// live == replayed verdict comparison byte-for-byte.
+func (m *Monitor) StateEvent() trace.Event {
+	m.mu.Lock()
+	st := driftState{
+		Threshold:            m.threshold,
+		Calibrations:         m.calibrations,
+		LastCalibrationCycle: m.lastCalibrationCycle,
+		LastCycle:            m.lastCycle,
+		Reads:                m.reads,
+		Outliers:             m.outliers,
+		Baseline:             append([]float64(nil), m.baseline...),
+		BaselineMean:         m.baseMean,
+		BaselineStd:          m.baseStd,
+		BaselineReady:        m.baseReady,
+		CUSUM:                m.cusum,
+		Drifting:             m.drifting,
+		MarginEWMA:           m.marginEWMA,
+		MarginInit:           m.marginInit,
+	}
+	cycle := m.lastCycle
+	m.mu.Unlock()
+	b, err := json.Marshal(st)
+	if err != nil {
+		// Unreachable for these field types; degrade to a no-op marker.
+		b = []byte("{}")
+	}
+	return trace.Event{Kind: trace.KindAnnotation, Cycle: cycle, Text: StateEventPrefix + string(b)}
+}
+
+// applyState restores a StateEvent checkpoint. Malformed payloads are
+// ignored — a checkpoint is an optimization for partial streams, never
+// a correctness requirement for full ones.
+func (m *Monitor) applyState(data string) {
+	var st driftState
+	if json.Unmarshal([]byte(data), &st) != nil {
+		return
+	}
+	m.mu.Lock()
+	m.threshold = st.Threshold
+	m.calibrations = st.Calibrations
+	m.lastCalibrationCycle = st.LastCalibrationCycle
+	m.lastCycle = st.LastCycle
+	m.reads = st.Reads
+	m.outliers = st.Outliers
+	m.baseline = append(m.baseline[:0], st.Baseline...)
+	m.baseMean = st.BaselineMean
+	m.baseStd = st.BaselineStd
+	m.baseReady = st.BaselineReady
+	m.cusum = st.CUSUM
+	m.drifting = st.Drifting
+	m.marginEWMA = st.MarginEWMA
+	m.marginInit = st.MarginInit
+	m.mu.Unlock()
 }
 
 // resetDriftLocked clears the CUSUM baseline and any latched verdict —
@@ -358,6 +452,54 @@ type Snapshot struct {
 	MarginEWMA           float64      `json:"margin_ewma"`
 	ErrorEWMA            float64      `json:"error_ewma"`
 	Gates                []GateHealth `json:"gates"`
+}
+
+// Verdict is the drift-relevant slice of a Snapshot: exactly the fields
+// that must agree between a live monitor and an offline replay of the
+// same event stream. Error EWMAs are excluded on purpose — outcomes are
+// not in the trace — so comparing serialized Verdicts is the precise
+// statement of the live == offline guarantee.
+type Verdict struct {
+	Threshold     int64   `json:"threshold"`
+	Calibrations  int64   `json:"calibrations"`
+	Drifting      bool    `json:"drifting"`
+	CUSUM         float64 `json:"cusum"`
+	BaselineReady bool    `json:"baseline_ready"`
+	BaselineMean  float64 `json:"baseline_mean"`
+	BaselineStd   float64 `json:"baseline_std"`
+	MarginEWMA    float64 `json:"margin_ewma"`
+}
+
+// Verdict extracts the drift verdict from a snapshot.
+func (s Snapshot) Verdict() Verdict {
+	return Verdict{
+		Threshold:     s.Threshold,
+		Calibrations:  s.Calibrations,
+		Drifting:      s.Drifting,
+		CUSUM:         s.CUSUM,
+		BaselineReady: s.BaselineReady,
+		BaselineMean:  s.BaselineMean,
+		BaselineStd:   s.BaselineStd,
+		MarginEWMA:    s.MarginEWMA,
+	}
+}
+
+// Verdict copies the monitor's current drift verdict without building
+// the full per-gate snapshot — cheap enough to record on every job
+// completion.
+func (m *Monitor) Verdict() Verdict {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Verdict{
+		Threshold:     m.threshold,
+		Calibrations:  m.calibrations,
+		Drifting:      m.drifting,
+		CUSUM:         m.cusum,
+		BaselineReady: m.baseReady,
+		BaselineMean:  m.baseMean,
+		BaselineStd:   m.baseStd,
+		MarginEWMA:    m.marginEWMA,
+	}
 }
 
 // binWidth buckets margins in 16-cycle steps — fine enough to show a

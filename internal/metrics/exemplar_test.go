@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestObserveExemplarAnnotatesBucket(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("job_seconds", "per-job latency", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.ObserveExemplar(0.5, L("trace_id", "job-00000007"))
+	h.ObserveExemplar(5, L("trace_id", "job-00000008"))
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `job_seconds_bucket{le="1"} 2 # {trace_id="job-00000007"} 0.5`) {
+		t.Errorf("le=1 bucket missing its exemplar:\n%s", out)
+	}
+	if !strings.Contains(out, `job_seconds_bucket{le="10"} 3 # {trace_id="job-00000008"} 5`) {
+		t.Errorf("le=10 bucket missing its exemplar:\n%s", out)
+	}
+	// The un-exemplared bucket keeps the plain exposition shape.
+	if !strings.Contains(out, `job_seconds_bucket{le="0.1"} 1`+"\n") {
+		t.Errorf("le=0.1 bucket gained an unexpected suffix:\n%s", out)
+	}
+	if !strings.Contains(out, "job_seconds_count 3") {
+		t.Errorf("count wrong:\n%s", out)
+	}
+}
+
+func TestObserveExemplarLatestWinsPerBucket(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", "", []float64{1})
+	h.ObserveExemplar(0.25, L("trace_id", "old"))
+	h.ObserveExemplar(0.75, L("trace_id", "new"))
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `h_bucket{le="1"} 2 # {trace_id="new"} 0.75`) {
+		t.Errorf("newest exemplar should win the bucket:\n%s", out)
+	}
+	if strings.Contains(out, `"old"`) {
+		t.Errorf("stale exemplar still rendered:\n%s", out)
+	}
+}
+
+func TestObserveExemplarNilSafe(t *testing.T) {
+	var h *Histogram
+	h.ObserveExemplar(1, L("trace_id", "x")) // must not panic
+}

@@ -16,12 +16,22 @@ import (
 // are estimated by linear interpolation inside the covering bucket.
 // The nil Histogram is a valid, disabled instrument.
 type Histogram struct {
-	bounds []float64       // ascending upper bounds; an implicit +Inf bucket follows
-	counts []atomic.Uint64 // len(bounds)+1
-	count  atomic.Uint64
-	sum    atomic.Uint64 // float64 bits, CAS-updated
-	min    atomic.Int64  // observed minimum, for the underflow-bucket lower edge
-	hasMin atomic.Bool
+	bounds    []float64       // ascending upper bounds; an implicit +Inf bucket follows
+	counts    []atomic.Uint64 // len(bounds)+1
+	count     atomic.Uint64
+	sum       atomic.Uint64 // float64 bits, CAS-updated
+	min       atomic.Int64  // observed minimum, for the underflow-bucket lower edge
+	hasMin    atomic.Bool
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1; newest exemplar per bucket
+}
+
+// Exemplar links one observed sample to an identity — typically a
+// trace id — so a histogram bucket points at a retrievable recording
+// instead of an anonymous count. Exposition renders it as an
+// OpenMetrics exemplar suffix on the bucket line.
+type Exemplar struct {
+	Labels []Label
+	Value  float64
 }
 
 // DefaultLatencyBuckets covers the simulator's timing range: L1 hits
@@ -41,9 +51,20 @@ func DefaultWindowBuckets() []float64 {
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	h := &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+	h := &Histogram{
+		bounds:    bs,
+		counts:    make([]atomic.Uint64, len(bs)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bs)+1),
+	}
 	return h
 }
+
+// NewHistogram returns a standalone histogram that is not attached to
+// any registry — for internal estimators (e.g. the flight recorder's
+// per-type latency quantiles) that want bucketed quantile math without
+// appearing in an exposition. Bounds are upper bucket edges; an
+// implicit +Inf bucket is appended.
+func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
 
 // bucketFor returns the index of the first bucket whose upper bound
 // admits x (the +Inf bucket for values above every bound).
@@ -79,6 +100,20 @@ func (h *Histogram) Observe(x float64) {
 	} else if xi < h.min.Load() {
 		h.min.Store(xi)
 	}
+}
+
+// ObserveExemplar records one sample and attaches an exemplar to its
+// bucket, replacing any earlier exemplar there. The exemplar labels
+// identify where the sample came from (e.g. trace_id), letting a
+// reader jump from a suspicious bucket straight to the recording that
+// landed in it.
+func (h *Histogram) ObserveExemplar(x float64, labels ...Label) {
+	if h == nil {
+		return
+	}
+	h.Observe(x)
+	ex := &Exemplar{Labels: append([]Label(nil), labels...), Value: x}
+	h.exemplars[h.bucketFor(x)].Store(ex)
 }
 
 // Count returns the number of observations.
@@ -202,8 +237,16 @@ func (h *Histogram) writeText(w io.Writer, name string, labels []Label) error {
 		if i < len(h.bounds) {
 			le = formatValue(h.bounds[i])
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-			name, formatLabels(labels, L("le", le)), cum); err != nil {
+		// OpenMetrics exemplar suffix: " # {labels} value" after the
+		// bucket sample. Prometheus text-format parsers that predate
+		// exemplars treat "#" as a comment start, so the line stays
+		// readable either way.
+		suffix := ""
+		if ex := h.exemplars[i].Load(); ex != nil {
+			suffix = fmt.Sprintf(" # %s %s", formatLabels(ex.Labels), formatValue(ex.Value))
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+			name, formatLabels(labels, L("le", le)), cum, suffix); err != nil {
 			return err
 		}
 	}

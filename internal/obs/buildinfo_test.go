@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"uwm/internal/metrics"
+)
+
+func TestCurrentBuildDegradesGracefully(t *testing.T) {
+	bi := CurrentBuild()
+	// A test binary has no VCS stamp or release version; the fields must
+	// still be populated with the documented fallbacks.
+	if bi.Version == "" || bi.GoVersion == "" || bi.GitSHA == "" {
+		t.Fatalf("build info has empty fields: %+v", bi)
+	}
+	if !strings.HasPrefix(bi.GoVersion, "go") {
+		t.Errorf("go version %q does not look like a toolchain version", bi.GoVersion)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := metrics.NewRegistry()
+	bi := RegisterBuildInfo(reg)
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := fmt.Sprintf(`uwm_build_info{version=%q,go_version=%q,git_sha=%q} 1`,
+		bi.Version, bi.GoVersion, bi.GitSHA)
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing %s:\n%s", want, out)
+	}
+
+	// Nil registry: a no-op, not a panic.
+	if nilBI := RegisterBuildInfo(nil); nilBI.GoVersion == "" {
+		t.Error("nil-registry call lost the build identity")
+	}
+}
+
+func TestSessionRegistryCarriesBuildInfo(t *testing.T) {
+	sess, err := Start(Config{Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	sess.SetOutput(&b)
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), MetricBuildInfo) {
+		t.Fatalf("session exposition missing %s:\n%s", MetricBuildInfo, b.String())
+	}
+}

@@ -32,6 +32,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -95,12 +97,59 @@ type Session struct {
 // off.
 func (s *Session) Profiler() *vprof.Profiler { return s.prof }
 
+// BuildInfo identifies the running binary: the module version, the Go
+// toolchain it was built with, and the VCS revision stamped into the
+// build, when available.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	GitSHA    string `json:"git_sha"`
+}
+
+// CurrentBuild reads the binary's embedded build metadata. Test
+// binaries and plain `go build` trees without VCS stamping degrade to
+// "devel"/"unknown" rather than failing.
+func CurrentBuild() BuildInfo {
+	bi := BuildInfo{Version: "devel", GoVersion: runtime.Version(), GitSHA: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		bi.Version = v
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			bi.GitSHA = s.Value
+		}
+	}
+	return bi
+}
+
+// MetricBuildInfo is the build-identity gauge every binary's /metrics
+// carries; its constant value 1 makes the labels joinable in PromQL
+// (`something * on () group_left (git_sha) uwm_build_info`).
+const MetricBuildInfo = "uwm_build_info"
+
+// RegisterBuildInfo exposes the uwm_build_info gauge on reg and returns
+// the build identity it recorded. Safe on a nil registry.
+func RegisterBuildInfo(reg *metrics.Registry) BuildInfo {
+	bi := CurrentBuild()
+	reg.Gauge(MetricBuildInfo,
+		"build identity of this binary (value is constant 1)",
+		metrics.L("version", bi.Version),
+		metrics.L("go_version", bi.GoVersion),
+		metrics.L("git_sha", bi.GitSHA)).Set(1)
+	return bi
+}
+
 // Start opens the requested surfaces: the registry (for -metrics and
 // -pprof), the trace file sink, and the debug HTTP listener.
 func Start(cfg Config) (*Session, error) {
 	s := &Session{cfg: cfg, out: os.Stdout}
 	if cfg.Metrics || cfg.PprofAddr != "" {
 		s.Registry = metrics.NewRegistry()
+		RegisterBuildInfo(s.Registry)
 	}
 	if cfg.TraceOut != "" {
 		sink, closer, err := trace.FileSink(cfg.TraceOut)

@@ -56,11 +56,13 @@ var tTable = map[float64][]float64{
 // tCritical returns the two-sided Student-t critical value for the
 // given degrees of freedom and confidence level.
 func tCritical(df int, confidence float64) float64 {
-	// Snap to the nearest supported level.
+	// Snap to the nearest supported level; an exact tie (0.97 sits
+	// bitwise-equidistant from 0.95 and 0.99) must not depend on map
+	// iteration order, so ties go to the lower level.
 	level := 0.95
 	best := math.Inf(1)
 	for l := range tTable {
-		if d := math.Abs(l - confidence); d < best {
+		if d := math.Abs(l - confidence); d < best || (d == best && l < level) {
 			best, level = d, l
 		}
 	}

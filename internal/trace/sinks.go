@@ -272,6 +272,30 @@ func (s *ChromeSink) Close() error {
 	return s.err
 }
 
+// EncodeJSONL renders a finished event slice to w in the JSONL wire
+// format — the exact lines a streaming JSONLSink would have produced.
+// It is the export path for callers that hold buffered recordings (the
+// flight recorder's trace downloads and post-mortem dumps) rather than
+// a live stream. w is flushed but never closed.
+func EncodeJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(jsonEvent{
+			Kind:  e.Kind.String(),
+			Plane: plane(e.Kind),
+			Cycle: e.Cycle,
+			PC:    e.PC,
+			Addr:  e.Addr,
+			Value: e.Value,
+			Text:  e.Text,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
 // FileSink opens path and returns a streaming sink selected by
 // extension: ".jsonl" (or ".ndjson") for line-delimited JSON, anything
 // else — conventionally ".json" — for the Chrome trace_event format.
