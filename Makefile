@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_$(shell date +%Y%m%d-%H%M%S).json
 
-.PHONY: all build test race vet staticcheck fmt-check ci serve-smoke bench bench-report bench-compare clean
+.PHONY: all build test race race-shard vet staticcheck fmt-check ci serve-smoke slo-smoke bench bench-report bench-compare clean
 
 all: build
 
@@ -13,6 +13,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-shard is a second, dedicated race pass over the packages that
+# share mutable state across goroutines; -count=2 also surfaces state
+# carried between in-process reruns.
+race-shard:
+	$(GO) test -race -count=2 \
+		./internal/engine/... ./internal/flightrec ./internal/health \
+		./internal/slo ./internal/evlog
 
 vet:
 	$(GO) vet ./...
@@ -35,7 +43,7 @@ fmt-check:
 # ci is the gate a pull request must pass: formatting, static checks,
 # a clean build, the full test suite under the race detector, and the
 # job-service and gate-health smoke tests.
-ci: fmt-check vet staticcheck build race serve-smoke health-smoke
+ci: fmt-check vet staticcheck build race race-shard serve-smoke slo-smoke health-smoke
 
 # serve-smoke boots uwm-serve on an ephemeral port, runs the example
 # client under a known request id, fetches that job's flight-recording
@@ -60,6 +68,29 @@ serve-smoke:
 	"$$tmpdir/uwm-top" -addr "http://$$(cat "$$tmpdir/addr")" -once >/dev/null && \
 	kill -TERM "$$serve_pid" && wait "$$serve_pid" && \
 	[ -s "$$tmpdir/postmortem/index.json" ] || { echo "post-mortem dump missing"; exit 1; }
+
+# slo-smoke boots uwm-serve with an unmeetable latency SLO, burns the
+# budget with real jobs, and requires /v1/alerts to report a firing
+# alert before a clean SIGTERM drain.
+slo-smoke:
+	@tmpdir="$$(mktemp -d)"; \
+	trap 'rm -rf "$$tmpdir"' EXIT; \
+	$(GO) build -o "$$tmpdir/uwm-serve" ./cmd/uwm-serve; \
+	printf '%s' '[{"name":"job-latency","kind":"latency","objective":0.99,"latency_threshold":"1us","min_events":5}]' > "$$tmpdir/slo.json"; \
+	"$$tmpdir/uwm-serve" -addr 127.0.0.1:0 -addr-file "$$tmpdir/addr" \
+		-workers 1 -slo-config "$$tmpdir/slo.json" -evlog "$$tmpdir/events.jsonl" & \
+	serve_pid=$$!; \
+	i=0; while [ ! -s "$$tmpdir/addr" ]; do \
+		i=$$((i + 1)); [ "$$i" -gt 100 ] && exit 1; sleep 0.1; \
+	done; \
+	base="http://$$(cat "$$tmpdir/addr")"; \
+	for n in 1 2 3 4 5 6 7 8; do \
+		curl -fsS -X POST "$$base/v1/jobs?wait=1" \
+			-d '{"type":"gate","params":{"gate":"TSX_XOR","random":4}}' >/dev/null || exit 1; \
+	done; \
+	curl -fsS "$$base/v1/alerts" | grep -q '"state": "firing"' || { echo "alert not firing"; exit 1; }; \
+	kill -TERM "$$serve_pid" && wait "$$serve_pid" && \
+	grep -q '"event":"alert.fire"' "$$tmpdir/events.jsonl" || { echo "journal missing alert.fire"; exit 1; }
 
 # health-smoke runs the deterministic drift-and-recalibrate scenario:
 # drifted noise flagged, exactly one recalibration, live == offline.

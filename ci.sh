@@ -27,6 +27,15 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== concurrency race shard =="
+# A second, dedicated race pass over the packages that share mutable
+# state across goroutines (worker pool, recorder rings, alert state
+# machines, log buckets); -count=2 reruns each test in one process so
+# state carried between runs would also surface.
+go test -race -count=2 \
+	./internal/engine/... ./internal/flightrec ./internal/health \
+	./internal/slo ./internal/evlog
+
 echo "== uwm-serve smoke =="
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
@@ -58,6 +67,42 @@ if [ ! -s "$tmpdir/postmortem/index.json" ]; then
 	echo "graceful drain left no post-mortem dump"
 	exit 1
 fi
+
+echo "== slo burn smoke =="
+# Boot with an unmeetable latency SLO, burn the budget with real jobs,
+# and require the burn-rate alert to be firing before a clean drain.
+cat > "$tmpdir/slo.json" <<'EOF'
+[{"name":"job-latency","kind":"latency","objective":0.99,"latency_threshold":"1us","min_events":5}]
+EOF
+"$tmpdir/uwm-serve" -addr 127.0.0.1:0 -addr-file "$tmpdir/addr2" \
+	-workers 1 -slo-config "$tmpdir/slo.json" -evlog "$tmpdir/events.jsonl" &
+slo_pid=$!
+i=0
+while [ ! -s "$tmpdir/addr2" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "uwm-serve (slo smoke) never wrote its address file"
+		kill "$slo_pid" 2>/dev/null || true
+		exit 1
+	fi
+	sleep 0.1
+done
+slo_base="http://$(cat "$tmpdir/addr2")"
+for n in 1 2 3 4 5 6 7 8; do
+	curl -fsS -X POST "$slo_base/v1/jobs?wait=1" \
+		-d '{"type":"gate","params":{"gate":"TSX_XOR","random":4}}' >/dev/null
+done
+curl -fsS "$slo_base/v1/alerts" | grep -q '"state": "firing"' || {
+	echo "alert not firing after the slo burn"
+	kill "$slo_pid" 2>/dev/null || true
+	exit 1
+}
+kill -TERM "$slo_pid"
+wait "$slo_pid" # set -e: a non-zero exit here means the drain was not clean
+grep -q '"event":"alert.fire"' "$tmpdir/events.jsonl" || {
+	echo "event journal missing the alert.fire record"
+	exit 1
+}
 
 echo "== gate-health smoke =="
 # The deterministic drift scenario: a drifted-noise machine must be

@@ -40,7 +40,12 @@ func run() int {
 		obsCfg  obs.Config
 	)
 	obsCfg.AddFlags(flag.CommandLine)
+	version := obs.AddVersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		obs.PrintVersion(os.Stdout, "uwm-apt")
+		return 0
+	}
 
 	if !*demo && *listen == "" {
 		flag.Usage()

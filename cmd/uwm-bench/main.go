@@ -67,8 +67,13 @@ func realMain(args []string) int {
 		obsCfg    obs.Config
 	)
 	obsCfg.AddFlags(fs)
+	version := obs.AddVersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		obs.PrintVersion(os.Stdout, "uwm-bench")
+		return 0
 	}
 
 	if *compare {

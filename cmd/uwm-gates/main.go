@@ -106,7 +106,12 @@ func run() int {
 		obsCfg    obs.Config
 	)
 	obsCfg.AddFlags(flag.CommandLine)
+	version := obs.AddVersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		obs.PrintVersion(os.Stdout, "uwm-gates")
+		return 0
+	}
 
 	fail := func(format string, args ...any) int {
 		fmt.Fprintf(os.Stderr, "uwm-gates: "+format+"\n", args...)

@@ -21,6 +21,14 @@
 // chrome); GET /v1/traces lists keep decisions and /v1/traces/stream
 // tails them over SSE.
 //
+// SLOs (availability, latency, gate accuracy) evaluate over every
+// terminal job: GET /v1/slo reports error budgets, GET /v1/alerts the
+// multi-window burn-rate alerts (SSE at /v1/alerts/stream), and
+// -alert-webhook pushes fire/resolve transitions outward. -slo-config
+// replaces the built-in objectives with a JSON definition file, and
+// -evlog appends the structured event journal that `slo.Replay` can
+// re-evaluate offline into the identical alert timeline.
+//
 // SIGINT/SIGTERM drains gracefully: intake stops, queued and in-flight
 // jobs finish (bounded by -drain-timeout), then the process exits 0.
 package main
@@ -39,9 +47,11 @@ import (
 
 	"uwm/internal/engine"
 	"uwm/internal/engine/httpapi"
+	"uwm/internal/evlog"
 	"uwm/internal/flightrec"
 	"uwm/internal/metrics"
 	"uwm/internal/obs"
+	"uwm/internal/slo"
 )
 
 func main() {
@@ -73,11 +83,21 @@ func realMain(args []string, sigs <-chan os.Signal) int {
 		flightHeadRate = fs.Float64("flight-head-rate", 1, "probability a healthy job's trace is kept (errors, disagreements, retries, drift and slow jobs are always kept)")
 		flightEvents   = fs.Int("flight-events", 4096, "per-job trace buffer bound; past it the oldest events are dropped")
 		postmortemDir  = fs.String("postmortem-dir", "", "dump kept traces to this directory on drain or worker panic")
+
+		sloOn     = fs.Bool("slo", true, "evaluate SLOs and burn-rate alerts (GET /v1/slo, /v1/alerts)")
+		sloConfig = fs.String("slo-config", "", "JSON file of SLO definitions; empty selects the built-in defaults")
+		webhook   = fs.String("alert-webhook", "", "POST alert fire/resolve transitions to this URL (with retry and backoff)")
+		evlogOut  = fs.String("evlog", "", "append structured event records (JSONL) to this file; the in-memory ring behind GET /v1/logs is always on")
 	)
 	var obsCfg obs.Config
 	obsCfg.AddFlags(fs)
+	version := obs.AddVersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		obs.PrintVersion(os.Stdout, "uwm-serve")
+		return 0
 	}
 
 	sess, err := obs.Start(obsCfg)
@@ -108,6 +128,48 @@ func realMain(args []string, sigs <-chan os.Signal) int {
 		})
 	}
 
+	// The event log always runs with its in-memory ring (GET /v1/logs);
+	// -evlog additionally appends the JSONL journal an offline
+	// `slo.Replay` can re-evaluate.
+	logCfg := evlog.Config{Metrics: reg}
+	var evlogFile *os.File
+	if *evlogOut != "" {
+		evlogFile, err = os.OpenFile(*evlogOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uwm-serve:", err)
+			return 1
+		}
+		defer evlogFile.Close()
+		logCfg.W = evlogFile
+	}
+	log := evlog.New(logCfg)
+
+	var sloEng *slo.Engine
+	if *sloOn {
+		defs := slo.DefaultSLOs()
+		if *sloConfig != "" {
+			raw, err := os.ReadFile(*sloConfig)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "uwm-serve:", err)
+				return 1
+			}
+			if defs, err = slo.ParseDefinitions(raw); err != nil {
+				fmt.Fprintln(os.Stderr, "uwm-serve: -slo-config:", err)
+				return 2
+			}
+		}
+		cfg := slo.Config{SLOs: defs, Log: log, Metrics: reg}
+		if rec != nil {
+			// Guarded: assigning a nil *Recorder would make the interface
+			// non-nil and panic inside the engine's Pin calls.
+			cfg.Pinner = rec
+		}
+		if sloEng, err = slo.New(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "uwm-serve: slo:", err)
+			return 2
+		}
+	}
+
 	eng, err := engine.New(engine.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -118,10 +180,21 @@ func realMain(args []string, sigs <-chan os.Signal) int {
 		Metrics:         reg,
 		Sink:            sess.Sink,
 		FlightRec:       rec,
+		SLO:             sloEng,
+		Log:             log,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "uwm-serve:", err)
 		return 1
+	}
+
+	var notifier *slo.Notifier
+	if *webhook != "" {
+		if sloEng == nil {
+			fmt.Fprintln(os.Stderr, "uwm-serve: -alert-webhook requires -slo")
+			return 2
+		}
+		notifier = slo.NewNotifier(sloEng, slo.NotifierConfig{URL: *webhook, Log: log})
 	}
 
 	mux := http.NewServeMux()
@@ -172,6 +245,12 @@ func realMain(args []string, sigs <-chan os.Signal) int {
 		fmt.Fprintln(os.Stderr, "uwm-serve: engine drain:", err)
 		code = 1
 	}
+	// The engine is drained, so no further observations arrive: flush
+	// the notifier's in-flight deliveries, then stop alert evaluation.
+	if notifier != nil {
+		notifier.Close()
+	}
+	sloEng.Close()
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "uwm-serve:", err)
 		code = 1

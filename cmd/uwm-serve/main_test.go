@@ -154,9 +154,128 @@ func TestServeLifecycle(t *testing.T) {
 	}
 }
 
+// TestServeSLOBurnLifecycle boots with a deliberately unmeetable
+// latency SLO, burns the budget with a handful of jobs, and checks the
+// whole alerting surface end to end: /v1/slo accounting, /v1/alerts
+// firing, the JSONL event journal on disk, and a clean SIGTERM drain.
+func TestServeSLOBurnLifecycle(t *testing.T) {
+	tmp := t.TempDir()
+	addrFile := filepath.Join(tmp, "addr")
+	sloFile := filepath.Join(tmp, "slo.json")
+	evlogFile := filepath.Join(tmp, "events.jsonl")
+	sloJSON := `[{"name":"job-latency","kind":"latency","objective":0.99,
+		"latency_threshold":"1us","min_events":5}]`
+	if err := os.WriteFile(sloFile, []byte(sloJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sigs := make(chan os.Signal, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain([]string{
+			"-addr", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-workers", "1",
+			"-slo-config", sloFile,
+			"-evlog", evlogFile,
+		}, sigs)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(60 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("server never wrote its address file")
+		}
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			addr = string(b)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	base := "http://" + addr
+
+	// Every real job misses a 1µs latency threshold: eight submissions
+	// exhaust the budget and trip the fast burn policy.
+	for i := 0; i < 8; i++ {
+		resp, err := http.Post(base+"/v1/jobs?wait=1", "application/json",
+			strings.NewReader(`{"type":"gate","params":{"gate":"TSX_XOR","random":4}}`))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(base + "/v1/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb struct {
+		SLOs []struct {
+			Name           string  `json:"name"`
+			BadEvents      float64 `json:"bad_events"`
+			BudgetConsumed float64 `json:"budget_consumed"`
+		} `json:"slos"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(sb.SLOs) != 1 || sb.SLOs[0].Name != "job-latency" {
+		t.Fatalf("slo body %+v, want the configured job-latency SLO", sb)
+	}
+	if sb.SLOs[0].BadEvents < 8 || sb.SLOs[0].BudgetConsumed <= 0 {
+		t.Fatalf("budget not burning: %+v", sb.SLOs[0])
+	}
+
+	resp, err = http.Get(base + "/v1/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ab struct {
+		Firing int `json:"firing"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ab); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ab.Firing == 0 {
+		t.Fatal("no alert firing after the burn")
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d after SIGTERM, want 0", code)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+
+	// The journal holds the replay substrate: observations and the fire.
+	j, err := os.ReadFile(evlogFile)
+	if err != nil {
+		t.Fatalf("event journal not written: %v", err)
+	}
+	if !strings.Contains(string(j), `"event":"slo.observe"`) ||
+		!strings.Contains(string(j), `"event":"alert.fire"`) {
+		t.Fatalf("journal missing observe/fire records:\n%s", j)
+	}
+}
+
 // TestServeBadFlags keeps the usage exit code stable.
 func TestServeBadFlags(t *testing.T) {
 	if code := realMain([]string{"-no-such-flag"}, make(chan os.Signal)); code != 2 {
 		t.Errorf("exit code %d for bad flags, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"slos": "nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := realMain([]string{"-slo-config", bad}, make(chan os.Signal)); code != 2 {
+		t.Errorf("exit code %d for bad -slo-config, want 2", code)
 	}
 }

@@ -44,7 +44,12 @@ func run() int {
 		obsCfg  obs.Config
 	)
 	obsCfg.AddFlags(flag.CommandLine)
+	version := obs.AddVersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		obs.PrintVersion(os.Stdout, "uwm-sha1")
+		return 0
+	}
 
 	fail := func(format string, args ...any) int {
 		fmt.Fprintf(os.Stderr, "uwm-sha1: "+format+"\n", args...)

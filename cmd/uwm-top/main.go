@@ -1,9 +1,10 @@
 // Command uwm-top is a live terminal view of a running uwm-serve: it
-// polls the service's /healthz, /v1/health/detail, /v1/traces and
-// /metrics endpoints and renders per-worker gate health — timing-margin
-// histograms, drift verdicts, calibration counts — next to the pool's
-// throughput counters and the flight recorder's most recent kept
-// traces.
+// polls the service's /healthz, /v1/health/detail, /v1/slo, /v1/alerts,
+// /v1/traces and /metrics endpoints and renders per-worker gate health
+// — timing-margin histograms, drift verdicts, calibration counts —
+// next to the pool's throughput counters, the SLO error budgets with
+// any firing burn-rate alerts, and the flight recorder's most recent
+// kept traces.
 //
 //	uwm-serve -addr :8080 &
 //	uwm-top -addr http://localhost:8080             # refresh every 2s
@@ -12,6 +13,11 @@
 // The per-worker panels are rendered by the same code the offline
 // `uwm-trace -health` mode uses, so an operator watching uwm-top and an
 // engineer replaying the recorded trace read identical pictures.
+//
+// A failed poll does not kill the console: the frame banners the error
+// with the time of the last successful poll and keeps rendering that
+// stale snapshot while retrying, so the view survives the exact moment
+// an operator needs it — the polled server going away.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"time"
 
 	"uwm/internal/health"
+	"uwm/internal/obs"
 )
 
 func main() {
@@ -77,6 +84,7 @@ func realMain(args []string, out io.Writer, sigs <-chan os.Signal) int {
 	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
 	once := fs.Bool("once", false, "print one snapshot and exit (no screen clearing)")
 	width := fs.Int("width", 48, "histogram bar width in characters")
+	version := obs.AddVersionFlag(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: uwm-top [-addr url] [-interval d] [-once]\n")
 		fs.PrintDefaults()
@@ -84,20 +92,42 @@ func realMain(args []string, out io.Writer, sigs <-chan os.Signal) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *version {
+		obs.PrintVersion(os.Stdout, "uwm-top")
+		return 0
+	}
 	if fs.NArg() != 0 {
 		fs.Usage()
 		return 2
 	}
 	base := strings.TrimRight(*addr, "/")
 
+	// A failed poll must not kill the console or wipe the screen: the
+	// last good frame stays up under a stale-data banner and polling
+	// continues, so a uwm-serve restart heals the view by itself.
+	var lastGood string
+	var lastSuccess time.Time
 	for {
 		frame, err := renderFrame(base, *width)
-		if err != nil {
+		switch {
+		case err != nil && *once:
 			fmt.Fprintf(os.Stderr, "uwm-top: %v\n", err)
-			if *once {
-				return 1
+			return 1
+		case err != nil:
+			var b strings.Builder
+			fmt.Fprintf(&b, "uwm-top  %s  %s  ** POLL FAILED: %v **\n",
+				base, time.Now().Format("15:04:05"), err)
+			if lastSuccess.IsZero() {
+				b.WriteString("no successful poll yet; retrying\n")
+			} else {
+				fmt.Fprintf(&b, "showing STALE data from last success at %s\n\n",
+					lastSuccess.Format("15:04:05"))
+				b.WriteString(lastGood)
 			}
-		} else {
+			fmt.Fprint(out, "\x1b[H\x1b[2J")
+			fmt.Fprint(out, b.String())
+		default:
+			lastGood, lastSuccess = frame, time.Now()
 			if !*once {
 				fmt.Fprint(out, "\x1b[H\x1b[2J") // home + clear
 			}
@@ -141,12 +171,67 @@ func renderFrame(base string, width int) (string, error) {
 		}
 		b.WriteByte('\n')
 	}
+	renderSLO(&b, base)
 	renderTraces(&b, base)
 	for _, w := range workers {
 		fmt.Fprintf(&b, "\n-- worker %d --\n", w.Worker)
 		b.WriteString(health.RenderSnapshot(w.Snapshot, width))
 	}
 	return b.String(), nil
+}
+
+// sloView mirrors the fields of an slo.SLOStatus this console
+// displays.
+type sloView struct {
+	Name            string  `json:"name"`
+	Kind            string  `json:"kind"`
+	Objective       float64 `json:"objective"`
+	BudgetConsumed  float64 `json:"budget_consumed"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+}
+
+// alertView mirrors the fields of an slo.Alert this console displays.
+type alertView struct {
+	SLO       string   `json:"slo"`
+	Policy    string   `json:"policy"`
+	Severity  string   `json:"severity"`
+	State     string   `json:"state"`
+	BurnShort float64  `json:"burn_short"`
+	BurnLong  float64  `json:"burn_long"`
+	Threshold float64  `json:"burn_rate_threshold"`
+	TraceIDs  []string `json:"trace_ids"`
+}
+
+// renderSLO appends the error-budget and alerts panel. A server
+// running without the SLO engine (404) just omits it.
+func renderSLO(b *strings.Builder, base string) {
+	var sb struct {
+		SLOs []sloView `json:"slos"`
+	}
+	if err := getJSON200(base+"/v1/slo", &sb); err != nil || len(sb.SLOs) == 0 {
+		return
+	}
+	var ab struct {
+		Alerts []alertView `json:"alerts"`
+		Firing int         `json:"firing"`
+	}
+	_ = getJSON200(base+"/v1/alerts", &ab)
+	fmt.Fprintf(b, "slo: %d objective(s), %d alert(s) firing\n", len(sb.SLOs), ab.Firing)
+	for _, s := range sb.SLOs {
+		fmt.Fprintf(b, "  %-16s %-13s objective=%-7.4g budget used %6.1f%%\n",
+			s.Name, s.Kind, s.Objective, s.BudgetConsumed*100)
+	}
+	for _, a := range ab.Alerts {
+		if a.State != "firing" {
+			continue
+		}
+		fmt.Fprintf(b, "  ALERT %s/%s [%s] burn %.1f/%.1f over threshold %.1f",
+			a.SLO, a.Policy, a.Severity, a.BurnShort, a.BurnLong, a.Threshold)
+		if len(a.TraceIDs) > 0 {
+			fmt.Fprintf(b, "  traces: %s", strings.Join(a.TraceIDs, ","))
+		}
+		b.WriteByte('\n')
+	}
 }
 
 // tracePanelRows caps how many kept traces the panel lists; the full
@@ -190,6 +275,20 @@ func getJSON(url string, dst any) error {
 	defer resp.Body.Close()
 	// /healthz answers 503 with a well-formed body when degraded or
 	// draining — that is exactly what this console wants to show.
+	return json.NewDecoder(resp.Body).Decode(dst)
+}
+
+// getJSON200 is getJSON for endpoints whose error envelope would
+// otherwise decode into an empty success body (the optional panels).
+func getJSON200(url string, dst any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
 	return json.NewDecoder(resp.Body).Decode(dst)
 }
 

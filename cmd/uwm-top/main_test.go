@@ -5,8 +5,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"uwm/internal/health"
 	"uwm/internal/trace"
@@ -43,6 +47,17 @@ func fakeServe(t *testing.T) *httptest.Server {
 		}
 		fmt.Fprintf(w, `[{"worker":0,"health":%s}]`, snap)
 	})
+	mux.HandleFunc("/v1/slo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"slos":[{"name":"gate-accuracy","kind":"gate_accuracy",
+			"objective":0.9,"budget_consumed":0.42,"budget_remaining":0.58}]}`)
+	})
+	mux.HandleFunc("/v1/alerts", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"alerts":[{"slo":"gate-accuracy","policy":"fast","severity":"page",
+			"state":"firing","burn_short":20,"burn_long":15,"burn_rate_threshold":14.4,
+			"trace_ids":["job-00000007"]}],"firing":1}`)
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprint(w, "# TYPE uwm_engine_jobs_total counter\n"+
 			"uwm_engine_jobs_total{status=\"done\"} 3\n"+
@@ -76,6 +91,10 @@ func TestOnceSnapshot(t *testing.T) {
 		"retries=2", // reason labels summed
 		"worker 0",
 		"TSX_AND",
+		"slo: 1 objective(s), 1 alert(s) firing",
+		"budget used   42.0%",
+		"ALERT gate-accuracy/fast [page] burn 20.0/15.0 over threshold 14.4",
+		"job-00000007",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("snapshot missing %q:\n%s", want, got)
@@ -86,6 +105,62 @@ func TestOnceSnapshot(t *testing.T) {
 	}
 	if strings.Contains(got, "queue_depth=") {
 		t.Error("gauge leaked into the counter totals line")
+	}
+}
+
+// syncBuf lets the stale-banner test read the console's output while
+// realMain's poll loop is still writing it.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func waitContains(t *testing.T, out *syncBuf, want string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), want) {
+		if time.Now().After(deadline) {
+			t.Fatalf("output never contained %q:\n%s", want, out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStaleBannerOnFailedPoll kills the polled server mid-session: the
+// console must keep running, banner the failure with the last-success
+// timestamp, keep the last good frame on screen, and still exit
+// cleanly on SIGTERM.
+func TestStaleBannerOnFailedPoll(t *testing.T) {
+	srv := fakeServe(t)
+	sigs := make(chan os.Signal, 1)
+	out := &syncBuf{}
+	done := make(chan int, 1)
+	go func() {
+		done <- realMain([]string{"-addr", srv.URL, "-interval", "20ms"}, out, sigs)
+	}()
+	waitContains(t, out, "pool: ok")
+
+	srv.Close()
+	waitContains(t, out, "POLL FAILED")
+	waitContains(t, out, "STALE data from last success at")
+	// The banner frames still carry the last good snapshot.
+	waitContains(t, out, "worker 0")
+
+	sigs <- syscall.SIGTERM
+	if code := <-done; code != 0 {
+		t.Fatalf("exit code %d after drain, want 0", code)
 	}
 }
 

@@ -44,6 +44,7 @@ import (
 	"strings"
 
 	"uwm/internal/health"
+	"uwm/internal/obs"
 	"uwm/internal/trace"
 	"uwm/internal/traceanalyze"
 )
@@ -63,6 +64,7 @@ func realMain(args []string) int {
 	healthMode := fs.Bool("health", false, "replay the trace through the gate-health monitor instead of analyzing it")
 	job := fs.String("job", "", "restrict to spans annotated with this job or request id")
 	from := fs.String("from", "", "fetch the trace from this uwm-serve base URL's flight recorder (requires -job) instead of reading a file")
+	version := obs.AddVersionFlag(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: uwm-trace [-format table|json] [-health] [-job id] <trace.jsonl | ->\n")
 		fmt.Fprintf(fs.Output(), "       uwm-trace [-format table|json] [-health] -from http://host:port -job id\n")
@@ -71,6 +73,10 @@ func realMain(args []string) int {
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		obs.PrintVersion(os.Stdout, "uwm-trace")
+		return 0
 	}
 	if *format != "table" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "uwm-trace: unknown format %q (want table or json)\n", *format)

@@ -30,11 +30,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"uwm/internal/evlog"
 	"uwm/internal/flightrec"
 	"uwm/internal/health"
 	"uwm/internal/metrics"
 	"uwm/internal/noise"
 	"uwm/internal/skelly"
+	"uwm/internal/slo"
 	"uwm/internal/trace"
 )
 
@@ -157,6 +159,17 @@ type Config struct {
 	// drift-state checkpoint so a kept trace replays to the live health
 	// verdict on its own.
 	FlightRec *flightrec.Recorder
+	// SLO, when non-nil, receives one Observation per terminal job —
+	// status, latency, and (for gate jobs) the per-op accuracy tally —
+	// evaluated at the SLO engine's clock. Wire the same flight
+	// recorder as its TracePinner so firing alerts hold their evidence.
+	SLO *slo.Engine
+	// Log, when non-nil, receives structured event records at the
+	// engine's operational boundaries: retries, vote disagreements,
+	// worker recalibrations and handler panics, each carrying the job
+	// and request ids. Nil disables event logging (the nil Logger
+	// no-ops).
+	Log *evlog.Logger
 }
 
 func (c Config) normalized() Config {
@@ -239,6 +252,8 @@ type Engine struct {
 
 	rejected *metrics.Counter
 	flight   *flightrec.Recorder
+	slos     *slo.Engine
+	log      *evlog.Logger
 }
 
 // New builds the pool: Workers rigs are constructed concurrently (each
@@ -277,6 +292,8 @@ func New(cfg Config) (*Engine, error) {
 		baseCtx:  ctx,
 		hardStop: cancel,
 		flight:   cfg.FlightRec,
+		slos:     cfg.SLO,
+		log:      cfg.Log,
 	}
 	e.registerMetrics()
 	for _, rig := range rigs {
@@ -326,6 +343,14 @@ func (e *Engine) Seed() uint64 { return e.cfg.Seed }
 // engine runs without one — the serving layer's handle for the trace
 // retrieval endpoints.
 func (e *Engine) FlightRecorder() *flightrec.Recorder { return e.flight }
+
+// SLO returns the engine's SLO engine, or nil when the engine runs
+// without one — the serving layer's handle for the budget and alert
+// endpoints.
+func (e *Engine) SLO() *slo.Engine { return e.slos }
+
+// EventLog returns the engine's structured event logger, or nil.
+func (e *Engine) EventLog() *evlog.Logger { return e.log }
 
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.cfg.Workers }
@@ -510,11 +535,23 @@ func (e *Engine) maybeRecalibrate(rig *Rig) {
 		e.cfg.Metrics.Counter(MetricRecalibrations,
 			"worker recalibrations triggered by drift, by outcome",
 			workerLabel, metrics.L("outcome", "failed")).Inc()
+		e.log.Emit(evlog.Record{
+			Level: evlog.Warn, Component: "engine", Event: "worker.recalibrate",
+			Msg: "recalibration failed, verdict stays latched: " + err.Error(),
+			Fields: evlog.Fields{evlog.F("worker", strconv.Itoa(rig.ID)),
+				evlog.F("outcome", "failed")},
+		})
 		return
 	}
 	e.cfg.Metrics.Counter(MetricRecalibrations,
 		"worker recalibrations triggered by drift, by outcome",
 		workerLabel, metrics.L("outcome", "ok")).Inc()
+	e.log.Emit(evlog.Record{
+		Level: evlog.Info, Component: "engine", Event: "worker.recalibrate",
+		Msg: "drift verdict cleared by recalibration",
+		Fields: evlog.Fields{evlog.F("worker", strconv.Itoa(rig.ID)),
+			evlog.F("outcome", "ok")},
+	})
 }
 
 // runJob executes one job under its deadline and retry policy and
@@ -542,7 +579,8 @@ func (e *Engine) runJob(rig *Rig, j *Job) {
 	ctx, cancel := context.WithTimeout(e.baseCtx, j.spec.Timeout)
 	defer cancel()
 
-	res, panicked, err := e.attempts(ctx, rig, j)
+	var tally gateTally
+	res, panicked, err := e.attempts(ctx, rig, j, &tally)
 	reg := e.cfg.Metrics
 	typeLabel := metrics.L("type", j.spec.Type)
 	switch {
@@ -594,6 +632,15 @@ func (e *Engine) runJob(rig *Rig, j *Job) {
 			_, _ = e.flight.Postmortem()
 		}
 	}
+	if panicked {
+		e.log.Emit(evlog.Record{
+			Level: evlog.Error, Component: "engine", Event: "worker.panic",
+			Msg: snap.Error, JobID: j.id, RequestID: j.spec.RequestID, TraceID: j.id,
+			Fields: evlog.Fields{evlog.F("worker", strconv.Itoa(rig.ID)),
+				evlog.F("type", j.spec.Type)},
+			Unlimited: true, // a panic is never flood noise
+		})
+	}
 	if hasLatency {
 		h := reg.Histogram(MetricJobLatSec, "job execution wall time in seconds",
 			jobSecondsBuckets, typeLabel)
@@ -604,6 +651,25 @@ func (e *Engine) runJob(rig *Rig, j *Job) {
 		} else {
 			h.Observe(latency.Seconds())
 		}
+	}
+	// The SLO observation goes out after the flight-recorder decision so
+	// a firing alert's pin request finds the kept trace already indexed.
+	// TraceID is set only for kept traces — an alert must name evidence
+	// that actually resolves at GET /v1/jobs/{id}/trace.
+	if e.slos != nil {
+		obs := slo.Observation{
+			JobID:          j.id,
+			RequestID:      j.spec.RequestID,
+			Type:           j.spec.Type,
+			Status:         string(st),
+			LatencySeconds: latency.Seconds(),
+			GateCorrect:    tally.correct,
+			GateTotal:      tally.total,
+		}
+		if decision.Kept {
+			obs.TraceID = j.id
+		}
+		e.slos.Observe(obs)
 	}
 	// Only now wake Done() waiters: a synchronous client released any
 	// earlier could fetch the job's trace before the recorder decided to
@@ -647,7 +713,7 @@ func runHandler(ctx context.Context, h Handler, env *Env, params json.RawMessage
 // and in whatever order the pool schedules it. The panicked return
 // reports whether any attempt's handler panicked (every panic is also
 // an errored attempt).
-func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job) (*Result, bool, error) {
+func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job, tally *gateTally) (*Result, bool, error) {
 	policy := e.cfg.Retry
 	if j.spec.Attempts > 0 {
 		policy.Attempts = j.spec.Attempts
@@ -694,7 +760,7 @@ func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job) (*Result, bool,
 		// seed: redundant attempts must rerun the same inputs under
 		// fresh machine noise, or voting would compare apples to
 		// oranges and random-input jobs could never reach quorum.
-		env := &Env{rig: rig, rng: noise.NewRNG(noise.SubSeed(j.subSeed, ^uint64(0))), seed: seed}
+		env := &Env{rig: rig, rng: noise.NewRNG(noise.SubSeed(j.subSeed, ^uint64(0))), seed: seed, gate: tally}
 		sp := rig.Machine.BeginSpan("job:" + j.spec.Type)
 		rig.Machine.Annotate(j.annotation())
 		value, panicked, err := runHandler(ctx, h, env, j.spec.Params)
@@ -714,6 +780,13 @@ func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job) (*Result, bool,
 				reason = RetryTimeout
 			}
 			retryCtr(reason).Inc()
+			e.log.Emit(evlog.Record{
+				Level: evlog.Warn, Component: "engine", Event: "job.retry",
+				Msg: err.Error(), JobID: j.id, RequestID: j.spec.RequestID, TraceID: j.id,
+				Fields: evlog.Fields{evlog.F("reason", reason),
+					evlog.F("attempt", strconv.Itoa(attempt+1)),
+					evlog.F("worker", strconv.Itoa(rig.ID))},
+			})
 			continue
 		}
 		lastErr = nil
@@ -730,6 +803,14 @@ func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job) (*Result, bool,
 				// A fresh conflicting ballot: every further attempt this
 				// job burns is disagreement-driven.
 				retryCtr(RetryMismatch).Inc()
+				e.log.Emit(evlog.Record{
+					Level: evlog.Warn, Component: "engine", Event: "job.disagreement",
+					Msg:   "redundant attempts produced conflicting results",
+					JobID: j.id, RequestID: j.spec.RequestID, TraceID: j.id,
+					Fields: evlog.Fields{evlog.F("ballots", strconv.Itoa(len(ballots))),
+						evlog.F("attempt", strconv.Itoa(attempt+1)),
+						evlog.F("worker", strconv.Itoa(rig.ID))},
+				})
 			}
 		}
 		votes[key]++

@@ -12,6 +12,13 @@
 //	GET  /v1/traces/stream   SSE live tail of sampling decisions
 //	GET  /v1/types           registered job types
 //	GET  /v1/health/detail   per-worker gate-health snapshots
+//	GET  /v1/slo             SLO status: objectives, budget consumed,
+//	                         per-policy burn rates
+//	GET  /v1/alerts          flat alert view, firing count, correlated
+//	                         kept-trace ids on firing rows
+//	GET  /v1/alerts/stream   SSE live tail of alert fire/resolve
+//	                         transitions
+//	GET  /v1/logs            the structured event log's in-memory ring
 //	GET  /healthz            pool stats; 503 once the engine is draining
 //	                         or a quorum of workers is unhealthy
 //
@@ -123,6 +130,18 @@ func New(e *engine.Engine) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/health/detail", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, e.Health())
+	})
+	mux.HandleFunc("GET /v1/slo", func(w http.ResponseWriter, r *http.Request) {
+		sloStatus(e, w, r)
+	})
+	mux.HandleFunc("GET /v1/alerts", func(w http.ResponseWriter, r *http.Request) {
+		alerts(e, w, r)
+	})
+	mux.HandleFunc("GET /v1/alerts/stream", func(w http.ResponseWriter, r *http.Request) {
+		alertsStream(e, w, r)
+	})
+	mux.HandleFunc("GET /v1/logs", func(w http.ResponseWriter, r *http.Request) {
+		logs(e, w, r)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		st := e.Stats()

@@ -1,0 +1,230 @@
+package httpapi
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"uwm/internal/engine"
+	"uwm/internal/evlog"
+	"uwm/internal/flightrec"
+	"uwm/internal/slo"
+)
+
+// tightLatencySLO pages on every completed job: a 1µs threshold no
+// real gate job can meet, so a handful of submissions exhausts the
+// budget deterministically.
+func tightLatencySLO() []slo.Definition {
+	return []slo.Definition{{
+		Name: "job-latency", Kind: slo.KindLatency, Objective: 0.99,
+		LatencyThreshold: slo.Duration(time.Microsecond), MinEvents: 5,
+	}}
+}
+
+func submitN(t *testing.T, srv *httptest.Server, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		resp, err := http.Post(srv.URL+"/v1/jobs?wait=1", "application/json",
+			strings.NewReader(`{"type":"gate","params":{"gate":"TSX_XOR","random":4}}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d: status %d", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestSLOEndpointsDisabledWithoutEngine(t *testing.T) {
+	_, srv := newServer(t, engine.Config{Workers: 1})
+	for _, path := range []string{"/v1/slo", "/v1/alerts", "/v1/alerts/stream", "/v1/logs"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s without slo/log: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestSLOStatusAndAlerts(t *testing.T) {
+	log := evlog.New(evlog.Config{})
+	sloEng, err := slo.New(slo.Config{SLOs: tightLatencySLO(), Log: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srv := newServer(t, engine.Config{Workers: 1, SLO: sloEng, Log: log})
+	submitN(t, srv, 8)
+
+	resp, err := http.Get(srv.URL + "/v1/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb sloBody
+	decode(t, resp, &sb)
+	if len(sb.SLOs) != 1 || sb.SLOs[0].Name != "job-latency" {
+		t.Fatalf("slo body %+v", sb)
+	}
+	if sb.SLOs[0].BadEvents < 8 {
+		t.Fatalf("bad events %v, want all 8 jobs over the 1µs threshold", sb.SLOs[0].BadEvents)
+	}
+	if sb.SLOs[0].BudgetConsumed <= 0 {
+		t.Fatal("no budget consumed")
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ab alertsBody
+	decode(t, resp, &ab)
+	if ab.Firing == 0 {
+		t.Fatalf("no alert firing: %+v", ab)
+	}
+	foundFiring := false
+	for _, a := range ab.Alerts {
+		if a.State == slo.StateFiring && a.SLO == "job-latency" {
+			foundFiring = true
+		}
+	}
+	if !foundFiring {
+		t.Fatalf("alerts view missing the firing latency alert: %+v", ab.Alerts)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lb logsBody
+	decode(t, resp, &lb)
+	observe, fire := 0, 0
+	for _, r := range lb.Records {
+		switch r.Event {
+		case slo.ObserveEvent:
+			observe++
+		case slo.FireEvent:
+			fire++
+		}
+	}
+	if observe < 8 || fire == 0 {
+		t.Fatalf("log ring has %d observe / %d fire records, want >=8 / >=1", observe, fire)
+	}
+}
+
+func TestAlertsStreamDeliversTransitions(t *testing.T) {
+	sloEng, err := slo.New(slo.Config{SLOs: tightLatencySLO()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srv := newServer(t, engine.Config{Workers: 1, SLO: sloEng})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/v1/alerts/stream", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	submitN(t, srv, 8)
+
+	sc := bufio.NewScanner(resp.Body)
+	var event, data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && event == "transition":
+			if !strings.Contains(data, `"state":"firing"`) {
+				t.Fatalf("transition payload %q missing firing state", data)
+			}
+			return
+		}
+	}
+	t.Fatalf("stream ended without a transition event: %v", sc.Err())
+}
+
+// TestStreamSubscribersReleasedOnDrain is the SSE-cleanup satellite:
+// clients parked on /v1/traces/stream and /v1/alerts/stream while the
+// server shuts down must not leak their handler goroutines — the
+// drain closes every subscriber channel and the handlers return.
+func TestStreamSubscribersReleasedOnDrain(t *testing.T) {
+	fr := flightrec.New(flightrec.Config{})
+	sloEng, err := slo.New(slo.Config{SLOs: tightLatencySLO()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(engine.Config{Workers: 1, FlightRec: fr, SLO: sloEng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(e))
+
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var bodies []interface{ Close() error }
+	for _, path := range []string{"/v1/traces/stream", "/v1/alerts/stream"} {
+		for i := 0; i < 3; i++ {
+			req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+path, nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Read the SSE preamble so the handler is known to be parked
+			// in its select loop before the drain starts.
+			buf := make([]byte, 1)
+			if _, err := resp.Body.Read(buf); err != nil {
+				t.Fatal(err)
+			}
+			bodies = append(bodies, resp.Body)
+		}
+	}
+
+	// SIGTERM drain order: stop intake, close the engine, close the SLO
+	// engine (its subscriber channels close, unwinding the alert
+	// streams), then drop the clients (unwinding the trace streams via
+	// their request contexts).
+	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	if err := e.Close(dctx); err != nil {
+		t.Fatal(err)
+	}
+	sloEng.Close()
+	cancel()
+	for _, b := range bodies {
+		b.Close()
+	}
+	srv.Close()
+
+	// The handler goroutines must unwind. Poll with a deadline: the
+	// runtime needs a moment to retire them.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d, want <= %d (+2 slack): stream handlers leaked",
+				runtime.NumGoroutine(), before)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

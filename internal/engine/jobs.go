@@ -206,6 +206,10 @@ func runGateJob(ctx context.Context, env *Env, params json.RawMessage) (any, err
 	if h := env.Rig().Health; h != nil {
 		h.ObserveOutcome(res.Gate, res.Correct, res.Total)
 	}
+	// Same reasoning for the SLO ledger: the gate-accuracy budget counts
+	// ops, so the tally lands before the floor can turn them into an
+	// errored attempt.
+	env.RecordGateOutcome(res.Correct, res.Total)
 	if p.MinAccuracy > 0 && res.Accuracy < p.MinAccuracy {
 		return nil, fmt.Errorf("engine: gate %s accuracy %.3f below floor %.3f (%d/%d correct)",
 			p.Gate, res.Accuracy, p.MinAccuracy, res.Correct, res.Total)

@@ -101,6 +101,14 @@ func newRig(cfg Config, sink trace.Sink, id int) (*Rig, error) {
 	return &Rig{ID: id, Machine: m, Health: mon, Skelly: sk, Hasher: sha1wm.New(sk), TSX: tsx, DC: dc, Tap: tap}, nil
 }
 
+// gateTally accumulates per-op gate accuracy across all attempts of
+// one job — the evidence stream behind the gate-accuracy SLO. It is
+// owned by the job's worker goroutine; no locking.
+type gateTally struct {
+	correct int
+	total   int
+}
+
 // Env is what a job handler executes against: the worker's pinned rig
 // plus the job attempt's derived randomness. The machine's noise
 // stream has already been re-pinned to Seed when the handler runs.
@@ -108,6 +116,18 @@ type Env struct {
 	rig  *Rig
 	rng  *noise.RNG
 	seed uint64
+	gate *gateTally
+}
+
+// RecordGateOutcome reports a handler's per-op gate accuracy (correct
+// ops out of total) into the job's SLO evidence. Handlers call it even
+// when the job goes on to fail an accuracy floor — a failed job's bad
+// ops are exactly what the gate-accuracy budget must charge for.
+func (e *Env) RecordGateOutcome(correct, total int) {
+	if e.gate != nil {
+		e.gate.correct += correct
+		e.gate.total += total
+	}
 }
 
 // Rig returns the worker's warm execution state.

@@ -70,6 +70,7 @@ const (
 	MetricEvictions     = "uwm_flightrec_evictions_total"
 	MetricDroppedEvents = "uwm_trace_dropped_events_total"
 	MetricPostmortems   = "uwm_flightrec_postmortem_dumps_total"
+	MetricAlertPinned   = "uwm_flightrec_alert_pinned_traces"
 )
 
 // Config tunes a Recorder. The zero value selects the defaults below.
@@ -214,15 +215,18 @@ type Decision struct {
 // sampling decision, and enough of the outcome to triage without
 // downloading the trace.
 type Entry struct {
-	Seq            uint64          `json:"seq"`
-	ID             string          `json:"id"`
-	RequestID      string          `json:"request_id,omitempty"`
-	Type           string          `json:"type"`
-	Status         string          `json:"status"`
-	Error          string          `json:"error,omitempty"`
-	Kept           bool            `json:"kept"`
-	Reason         string          `json:"reason"`
-	Pinned         bool            `json:"pinned,omitempty"`
+	Seq       uint64 `json:"seq"`
+	ID        string `json:"id"`
+	RequestID string `json:"request_id,omitempty"`
+	Type      string `json:"type"`
+	Status    string `json:"status"`
+	Error     string `json:"error,omitempty"`
+	Kept      bool   `json:"kept"`
+	Reason    string `json:"reason"`
+	Pinned    bool   `json:"pinned,omitempty"`
+	// AlertPinned marks a trace currently held against eviction by a
+	// firing SLO alert (reported on index listings).
+	AlertPinned    bool            `json:"alert_pinned,omitempty"`
 	Events         int             `json:"events"`
 	DroppedEvents  int             `json:"dropped_events,omitempty"`
 	Retries        int             `json:"retries,omitempty"`
@@ -258,6 +262,7 @@ type Recorder struct {
 	kept    []*KeptTrace          // healthy LRU, oldest first
 	errs    []*KeptTrace          // pinned error ring, oldest first
 	byID    map[string]*KeptTrace // job id and request id → trace
+	pins    map[string]int        // job id → alert pin refcount
 	typeLat map[string]*metrics.Histogram
 	subs    map[int]chan Entry
 	subSeq  int
@@ -277,6 +282,7 @@ func New(cfg Config) *Recorder {
 	r := &Recorder{
 		cfg:     cfg.withDefaults(),
 		byID:    make(map[string]*KeptTrace),
+		pins:    make(map[string]int),
 		typeLat: make(map[string]*metrics.Histogram),
 		subs:    make(map[int]chan Entry),
 	}
@@ -313,6 +319,12 @@ func New(cfg Config) *Recorder {
 			r.mu.Lock()
 			defer r.mu.Unlock()
 			return float64(len(r.errs))
+		})
+	reg.GaugeFunc(MetricAlertPinned, "traces currently pinned by firing SLO alerts",
+		func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return float64(len(r.pins))
 		})
 	return r
 }
@@ -455,27 +467,94 @@ func headKeep(id string, rate float64) bool {
 }
 
 // insertLocked files a kept trace into its ring and indexes it by job
-// and request id.
+// and request id. Rings evict their oldest *unpinned* trace: a trace a
+// firing alert pinned is the evidence the alert names, so the ring is
+// allowed to run over capacity until the alert resolves rather than
+// discard it.
 func (r *Recorder) insertLocked(kt *KeptTrace) {
 	if kt.Entry.Pinned {
 		r.errs = append(r.errs, kt)
 		if len(r.errs) > r.cfg.ErrorRing {
-			r.dropLocked(r.errs[0])
-			r.errs = r.errs[1:]
-			r.evictErrs.Inc()
+			if r.evictOldestUnpinnedLocked(&r.errs) {
+				r.evictErrs.Inc()
+			}
 		}
 	} else {
 		r.kept = append(r.kept, kt)
 		if len(r.kept) > r.cfg.MaxKept {
-			r.dropLocked(r.kept[0])
-			r.kept = r.kept[1:]
-			r.evictKept.Inc()
+			if r.evictOldestUnpinnedLocked(&r.kept) {
+				r.evictKept.Inc()
+			}
 		}
 	}
 	r.byID[kt.Entry.ID] = kt
 	if kt.Entry.RequestID != "" {
 		r.byID[kt.Entry.RequestID] = kt
 	}
+}
+
+// evictOldestUnpinnedLocked removes the oldest trace in ring without an
+// alert pin; it reports false — and leaves the ring over capacity —
+// when every resident trace is pinned.
+func (r *Recorder) evictOldestUnpinnedLocked(ring *[]*KeptTrace) bool {
+	for i, kt := range *ring {
+		if r.pins[kt.Entry.ID] > 0 {
+			continue
+		}
+		r.dropLocked(kt)
+		*ring = append((*ring)[:i], (*ring)[i+1:]...)
+		return true
+	}
+	return false
+}
+
+// Pin holds the kept trace for a job or request id against eviction —
+// the flight recorder's side of a firing SLO alert. Pins are
+// refcounted (two alerts naming the same trace both hold it) and
+// keyed by the canonical job id, so Pin and Unpin may use job and
+// request ids interchangeably. It reports whether a kept trace existed
+// to pin.
+func (r *Recorder) Pin(id string) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kt, ok := r.byID[id]
+	if !ok {
+		return false
+	}
+	r.pins[kt.Entry.ID]++
+	return true
+}
+
+// Unpin releases one Pin reference; at zero the trace becomes evictable
+// again (it is not removed eagerly — normal ring pressure reclaims it).
+func (r *Recorder) Unpin(id string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := id
+	if kt, ok := r.byID[id]; ok {
+		key = kt.Entry.ID
+	}
+	if n := r.pins[key]; n > 1 {
+		r.pins[key] = n - 1
+	} else if n == 1 {
+		delete(r.pins, key)
+	}
+}
+
+// AlertPins reports how many traces are currently alert-pinned.
+func (r *Recorder) AlertPins() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pins)
 }
 
 // dropLocked removes an evicted trace's id mappings (unless a newer
@@ -510,10 +589,14 @@ func (r *Recorder) Index() []Entry {
 	r.mu.Lock()
 	out := make([]Entry, 0, len(r.kept)+len(r.errs))
 	for _, kt := range r.kept {
-		out = append(out, kt.Entry)
+		e := kt.Entry
+		e.AlertPinned = r.pins[e.ID] > 0
+		out = append(out, e)
 	}
 	for _, kt := range r.errs {
-		out = append(out, kt.Entry)
+		e := kt.Entry
+		e.AlertPinned = r.pins[e.ID] > 0
+		out = append(out, e)
 	}
 	r.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })

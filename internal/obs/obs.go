@@ -126,6 +126,22 @@ func CurrentBuild() BuildInfo {
 	return bi
 }
 
+// AddVersionFlag registers the -version flag on fs and returns its
+// value pointer. Every uwm binary wires it the same way: when set, the
+// main prints PrintVersion to stdout and exits 0 before doing any work.
+func AddVersionFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("version", false, "print build identity (version, go version, git sha) and exit")
+}
+
+// PrintVersion writes the binary's build identity in one line, field
+// names matching the uwm_build_info metric labels so log greps and
+// PromQL joins read the same keys.
+func PrintVersion(w io.Writer, name string) {
+	bi := CurrentBuild()
+	fmt.Fprintf(w, "%s version=%s go_version=%s git_sha=%s\n",
+		name, bi.Version, bi.GoVersion, bi.GitSHA)
+}
+
 // MetricBuildInfo is the build-identity gauge every binary's /metrics
 // carries; its constant value 1 makes the labels joinable in PromQL
 // (`something * on () group_left (git_sha) uwm_build_info`).

@@ -1,0 +1,44 @@
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"uwm/internal/evlog"
+)
+
+// Replay rebuilds an alert timeline offline from a recorded event-log
+// stream: every slo.observe record is decoded and fed, in recorded
+// order, through a fresh engine built from cfg. Because Observe
+// evaluates at the observation's own timestamp and the engine consults
+// no other clock, the replayed Timeline() marshals byte-for-byte equal
+// to the live engine's — the same contract health.Replay honors for
+// drift verdicts.
+//
+// cfg.Log, cfg.Pinner and cfg.Clock are ignored: a replay journals
+// nothing, pins nothing, and keeps strictly to recorded time. The
+// definitions in cfg must match the live engine's or the timelines
+// will legitimately diverge.
+func Replay(records []evlog.Record, cfg Config) (*Engine, error) {
+	cfg.Log = nil
+	cfg.Pinner = nil
+	cfg.Clock = nil
+	eng, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range records {
+		if r.Component != Component || r.Event != ObserveEvent {
+			continue
+		}
+		var obs Observation
+		if err := json.Unmarshal(r.Data, &obs); err != nil {
+			return nil, fmt.Errorf("slo: replay record %d: %w", i, err)
+		}
+		if obs.At.IsZero() {
+			obs.At = r.At
+		}
+		eng.Observe(obs)
+	}
+	return eng, nil
+}

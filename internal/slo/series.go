@@ -1,0 +1,92 @@
+package slo
+
+import "time"
+
+// pair is one bucket's good/bad tally.
+type pair struct{ good, bad float64 }
+
+// series is a bucketed ring of good/bad counts over virtual time. The
+// bucket width is derived from the finest alert window so windowed
+// sums quantize acceptably, and the ring spans the longest horizon the
+// SLO evaluates over (budget window or slowest policy's long window).
+//
+// Buckets are addressed by absolute index (timestamp / width), so the
+// series has no notion of "now" beyond the newest bucket it has seen —
+// time advances only when observations arrive, which is what keeps
+// evaluation deterministic under a virtual clock.
+type series struct {
+	width   int64 // bucket width, ns
+	pairs   []pair
+	head    int   // ring slot of the newest bucket
+	headBI  int64 // absolute bucket index of the newest bucket
+	started bool
+}
+
+// newSeries sizes a ring: width fine enough to resolve the shortest
+// window into ~12 buckets (floored at 1s), length covering horizon.
+func newSeries(shortest, horizon time.Duration) *series {
+	width := int64(shortest) / 12
+	if width < int64(time.Second) {
+		width = int64(time.Second)
+	}
+	n := int64(horizon)/width + 2
+	if n < 2 {
+		n = 2
+	}
+	return &series{width: width, pairs: make([]pair, n)}
+}
+
+// add accumulates counts into the bucket containing at, advancing and
+// zeroing the ring as needed. Observations older than the ring's span
+// are dropped — they are outside every window the engine evaluates.
+func (s *series) add(at time.Time, good, bad float64) {
+	bi := at.UnixNano() / s.width
+	if !s.started {
+		s.started = true
+		s.headBI = bi
+		s.head = 0
+	}
+	for bi > s.headBI {
+		s.head++
+		if s.head == len(s.pairs) {
+			s.head = 0
+		}
+		s.pairs[s.head] = pair{}
+		s.headBI++
+	}
+	back := s.headBI - bi
+	if back < 0 || back >= int64(len(s.pairs)) {
+		return
+	}
+	idx := s.head - int(back)
+	if idx < 0 {
+		idx += len(s.pairs)
+	}
+	s.pairs[idx].good += good
+	s.pairs[idx].bad += bad
+}
+
+// window sums the buckets covering (now-w, now].
+func (s *series) window(now time.Time, w time.Duration) (good, bad float64) {
+	if !s.started {
+		return 0, 0
+	}
+	nowBI := now.UnixNano() / s.width
+	nb := int64(w) / s.width
+	if nb < 1 {
+		nb = 1
+	}
+	for d := int64(0); d < nb; d++ {
+		back := s.headBI - (nowBI - d)
+		if back < 0 || back >= int64(len(s.pairs)) {
+			continue
+		}
+		idx := s.head - int(back)
+		if idx < 0 {
+			idx += len(s.pairs)
+		}
+		good += s.pairs[idx].good
+		bad += s.pairs[idx].bad
+	}
+	return good, bad
+}

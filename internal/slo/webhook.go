@@ -1,0 +1,144 @@
+package slo
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"uwm/internal/evlog"
+)
+
+// NotifierConfig tunes a webhook Notifier.
+type NotifierConfig struct {
+	// URL receives one POST per alert transition, body = the
+	// Transition JSON, Content-Type application/json.
+	URL string
+	// Client is the HTTP client (default: 10s-timeout client).
+	Client *http.Client
+	// InitialBackoff/MaxBackoff bound the exponential retry schedule
+	// (defaults 250ms / 30s); MaxAttempts bounds deliveries per
+	// transition (default 5) before it is dropped and logged.
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+	MaxAttempts    int
+	// Log receives delivery-failure diagnostics.
+	Log *evlog.Logger
+}
+
+func (c NotifierConfig) withDefaults() NotifierConfig {
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if c.InitialBackoff <= 0 {
+		c.InitialBackoff = 250 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 30 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	return c
+}
+
+// Notifier forwards alert transitions to a webhook with retry and
+// exponential backoff. Deliveries are serialized in transition order;
+// a down endpoint delays, never reorders. Close drains nothing — the
+// in-flight delivery finishes its attempt, queued transitions are
+// dropped (the alert state itself lives in the engine, the webhook is
+// a best-effort mirror).
+type Notifier struct {
+	cfg    NotifierConfig
+	eng    *Engine
+	subID  int
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewNotifier subscribes to the engine and starts the delivery loop.
+func NewNotifier(eng *Engine, cfg NotifierConfig) *Notifier {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	n := &Notifier{cfg: cfg, eng: eng, ctx: ctx, cancel: cancel}
+	id, ch := eng.Subscribe()
+	n.subID = id
+	n.wg.Add(1)
+	go n.run(ch)
+	return n
+}
+
+func (n *Notifier) run(ch <-chan Transition) {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.ctx.Done():
+			return
+		case tr, ok := <-ch:
+			if !ok {
+				return
+			}
+			n.deliver(tr)
+		}
+	}
+}
+
+// deliver POSTs one transition, retrying with exponential backoff.
+func (n *Notifier) deliver(tr Transition) {
+	body, err := json.Marshal(tr)
+	if err != nil {
+		return
+	}
+	backoff := n.cfg.InitialBackoff
+	for attempt := 1; ; attempt++ {
+		err := n.post(body)
+		if err == nil {
+			return
+		}
+		if attempt >= n.cfg.MaxAttempts {
+			n.cfg.Log.Emit(evlog.Record{
+				Level: evlog.Warn, Component: Component, Event: "webhook.drop",
+				Msg: fmt.Sprintf("dropping %s/%s %s after %d attempts: %v",
+					tr.SLO, tr.Policy, tr.State, attempt, err),
+			})
+			return
+		}
+		select {
+		case <-n.ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > n.cfg.MaxBackoff {
+			backoff = n.cfg.MaxBackoff
+		}
+	}
+}
+
+func (n *Notifier) post(body []byte) error {
+	req, err := http.NewRequestWithContext(n.ctx, http.MethodPost, n.cfg.URL, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("webhook: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Close unsubscribes and stops the delivery loop.
+func (n *Notifier) Close() {
+	n.cancel()
+	n.eng.Unsubscribe(n.subID)
+	n.wg.Wait()
+}

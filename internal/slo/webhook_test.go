@@ -1,0 +1,90 @@
+package slo
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNotifierDeliversWithRetry(t *testing.T) {
+	var mu sync.Mutex
+	var got []Transition
+	fails := 2 // first two attempts 500 to exercise backoff
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		if fails > 0 {
+			fails--
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		var tr Transition
+		if err := json.Unmarshal(body, &tr); err != nil {
+			t.Errorf("bad webhook body: %v", err)
+		}
+		got = append(got, tr)
+	}))
+	defer srv.Close()
+
+	clk := &vclock{now: epoch(), step: time.Second}
+	eng, err := New(Config{SLOs: []Definition{availDef(5)}, Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNotifier(eng, NotifierConfig{URL: srv.URL,
+		InitialBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond})
+	defer n.Close()
+
+	for i := 0; i < 5; i++ {
+		eng.Observe(obsAt(clk.Now(), "failed"))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		done := len(got) >= 1
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("webhook never delivered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].State != StateFiring || got[0].SLO != "avail" {
+		t.Fatalf("delivered %+v", got[0])
+	}
+}
+
+func TestNotifierDropsAfterMaxAttempts(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	clk := &vclock{now: epoch(), step: time.Second}
+	eng, err := New(Config{SLOs: []Definition{availDef(5)}, Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNotifier(eng, NotifierConfig{URL: srv.URL,
+		InitialBackoff: time.Millisecond, MaxBackoff: time.Millisecond, MaxAttempts: 2})
+	for i := 0; i < 5; i++ {
+		eng.Observe(obsAt(clk.Now(), "failed"))
+	}
+	// Close must return even though every delivery fails.
+	done := make(chan struct{})
+	go func() { n.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on failing webhook")
+	}
+}
