@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_$(shell date +%Y%m%d-%H%M%S).json
 
-.PHONY: all build test race race-shard vet staticcheck fmt-check ci serve-smoke slo-smoke bench bench-report bench-compare clean
+.PHONY: all build test race race-shard vet staticcheck fmt-check ci serve-smoke slo-smoke cluster-smoke bench bench-report bench-compare clean
 
 all: build
 
@@ -20,7 +20,7 @@ race:
 race-shard:
 	$(GO) test -race -count=2 \
 		./internal/engine/... ./internal/flightrec ./internal/health \
-		./internal/slo ./internal/evlog
+		./internal/slo ./internal/evlog ./internal/cluster
 
 vet:
 	$(GO) vet ./...
@@ -43,7 +43,7 @@ fmt-check:
 # ci is the gate a pull request must pass: formatting, static checks,
 # a clean build, the full test suite under the race detector, and the
 # job-service and gate-health smoke tests.
-ci: fmt-check vet staticcheck build race race-shard serve-smoke slo-smoke health-smoke
+ci: fmt-check vet staticcheck build race race-shard serve-smoke slo-smoke cluster-smoke health-smoke
 
 # serve-smoke boots uwm-serve on an ephemeral port, runs the example
 # client under a known request id, fetches that job's flight-recording
@@ -91,6 +91,53 @@ slo-smoke:
 	curl -fsS "$$base/v1/alerts" | grep -q '"state": "firing"' || { echo "alert not firing"; exit 1; }; \
 	kill -TERM "$$serve_pid" && wait "$$serve_pid" && \
 	grep -q '"event":"alert.fire"' "$$tmpdir/events.jsonl" || { echo "journal missing alert.fire"; exit 1; }
+
+# cluster-smoke stands two uwm-serve backends behind one uwm-gateway:
+# a duplicate seeded submission replays byte-identically from the
+# result cache, a backend SIGTERMed mid-burst costs zero failed client
+# requests, the dead backend shows up in /v1/cluster, and both the
+# killed backend and the gateway drain cleanly.
+cluster-smoke:
+	@tmpdir="$$(mktemp -d)"; \
+	trap 'rm -rf "$$tmpdir"' EXIT; \
+	$(GO) build -o "$$tmpdir/uwm-serve" ./cmd/uwm-serve; \
+	$(GO) build -o "$$tmpdir/uwm-gateway" ./cmd/uwm-gateway; \
+	$(GO) build -o "$$tmpdir/uwm-top" ./cmd/uwm-top; \
+	"$$tmpdir/uwm-serve" -addr 127.0.0.1:0 -addr-file "$$tmpdir/b1.addr" & \
+	b1_pid=$$!; \
+	"$$tmpdir/uwm-serve" -addr 127.0.0.1:0 -addr-file "$$tmpdir/b2.addr" & \
+	b2_pid=$$!; \
+	i=0; while [ ! -s "$$tmpdir/b1.addr" ] || [ ! -s "$$tmpdir/b2.addr" ]; do \
+		i=$$((i + 1)); [ "$$i" -gt 100 ] && exit 1; sleep 0.1; \
+	done; \
+	"$$tmpdir/uwm-gateway" -addr 127.0.0.1:0 -addr-file "$$tmpdir/gw.addr" \
+		-backends "$$(cat "$$tmpdir/b1.addr"),$$(cat "$$tmpdir/b2.addr")" \
+		-probe-interval 200ms & \
+	gw_pid=$$!; \
+	i=0; while [ ! -s "$$tmpdir/gw.addr" ]; do \
+		i=$$((i + 1)); [ "$$i" -gt 100 ] && exit 1; sleep 0.1; \
+	done; \
+	gw="http://$$(cat "$$tmpdir/gw.addr")"; \
+	seeded='{"type":"gate","seed":42,"params":{"gate":"TSX_XOR","random":4}}'; \
+	curl -fsS -X POST "$$gw/v1/jobs?wait=1" -d "$$seeded" -o "$$tmpdir/run1.json" && \
+	curl -fsS -X POST "$$gw/v1/jobs?wait=1" -d "$$seeded" -o "$$tmpdir/run2.json" && \
+	cmp "$$tmpdir/run1.json" "$$tmpdir/run2.json" && \
+	curl -fsS "$$gw/metrics" | grep -q 'uwm_gateway_cache_hits_total 1' || { echo "cache replay broken"; exit 1; }; \
+	( sleep 0.15; kill -TERM "$$b1_pid" ) & \
+	killer_pid=$$!; \
+	for n in 1 2 3 4 5 6 7 8 9 10 11 12; do \
+		curl -fsS -X POST "$$gw/v1/jobs?wait=1" \
+			-d "{\"type\":\"gate\",\"seed\":$$((100 + n)),\"params\":{\"gate\":\"TSX_XOR\",\"random\":4}}" \
+			>/dev/null || { echo "burst request $$n failed during backend loss"; exit 1; }; \
+		sleep 0.05; \
+	done; \
+	wait "$$killer_pid"; \
+	wait "$$b1_pid" || { echo "killed backend did not drain cleanly"; exit 1; }; \
+	sleep 0.5; \
+	curl -fsS "$$gw/v1/cluster" | grep -q '"state": "down"' || { echo "dead backend not in /v1/cluster"; exit 1; }; \
+	"$$tmpdir/uwm-top" -addr "$$gw" -once >/dev/null && \
+	kill -TERM "$$gw_pid" && wait "$$gw_pid" && \
+	kill -TERM "$$b2_pid" && wait "$$b2_pid"
 
 # health-smoke runs the deterministic drift-and-recalibrate scenario:
 # drifted noise flagged, exactly one recalibration, live == offline.

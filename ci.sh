@@ -34,7 +34,7 @@ echo "== concurrency race shard =="
 # state carried between runs would also surface.
 go test -race -count=2 \
 	./internal/engine/... ./internal/flightrec ./internal/health \
-	./internal/slo ./internal/evlog
+	./internal/slo ./internal/evlog ./internal/cluster
 
 echo "== uwm-serve smoke =="
 tmpdir="$(mktemp -d)"
@@ -103,6 +103,89 @@ grep -q '"event":"alert.fire"' "$tmpdir/events.jsonl" || {
 	echo "event journal missing the alert.fire record"
 	exit 1
 }
+
+echo "== cluster smoke =="
+# Two uwm-serve backends behind one uwm-gateway: a duplicate seeded
+# submission must replay byte-identically from the result cache, the
+# example client and uwm-trace must work through the gateway unchanged,
+# a backend SIGTERMed mid-burst must cost zero failed client requests
+# (and drain cleanly itself), the dead backend must show up in
+# /v1/cluster, and the gateway must drain cleanly on SIGTERM.
+go build -o "$tmpdir/uwm-gateway" ./cmd/uwm-gateway
+"$tmpdir/uwm-serve" -addr 127.0.0.1:0 -addr-file "$tmpdir/b1.addr" &
+b1_pid=$!
+"$tmpdir/uwm-serve" -addr 127.0.0.1:0 -addr-file "$tmpdir/b2.addr" &
+b2_pid=$!
+i=0
+while [ ! -s "$tmpdir/b1.addr" ] || [ ! -s "$tmpdir/b2.addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "cluster smoke: backends never wrote their address files"
+		kill "$b1_pid" "$b2_pid" 2>/dev/null || true
+		exit 1
+	fi
+	sleep 0.1
+done
+"$tmpdir/uwm-gateway" -addr 127.0.0.1:0 -addr-file "$tmpdir/gw.addr" \
+	-backends "$(cat "$tmpdir/b1.addr"),$(cat "$tmpdir/b2.addr")" \
+	-probe-interval 200ms &
+gw_pid=$!
+i=0
+while [ ! -s "$tmpdir/gw.addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "cluster smoke: gateway never wrote its address file"
+		kill "$gw_pid" "$b1_pid" "$b2_pid" 2>/dev/null || true
+		exit 1
+	fi
+	sleep 0.1
+done
+gw="http://$(cat "$tmpdir/gw.addr")"
+# Duplicate seeded job: the repeat is served from the cache and is
+# byte-identical to the first run.
+seeded='{"type":"gate","seed":42,"params":{"gate":"TSX_XOR","random":4}}'
+curl -fsS -X POST "$gw/v1/jobs?wait=1" -d "$seeded" -o "$tmpdir/run1.json"
+curl -fsS -X POST "$gw/v1/jobs?wait=1" -d "$seeded" -o "$tmpdir/run2.json"
+cmp "$tmpdir/run1.json" "$tmpdir/run2.json" || {
+	echo "cached repeat is not byte-identical"
+	exit 1
+}
+curl -fsS "$gw/metrics" | grep -q 'uwm_gateway_cache_hits_total 1' || {
+	echo "cache hit not visible in gateway metrics"
+	exit 1
+}
+# The example client and the trace analyzer work through the gateway
+# exactly as against a single uwm-serve.
+go run ./examples/serve -addr "$(cat "$tmpdir/gw.addr")" -request-id gw-smoke-1
+"$tmpdir/uwm-trace" -from "$gw" -job gw-smoke-1 >/dev/null
+# Failover burst: SIGTERM one backend mid-burst; every client request
+# must still succeed, and the killed backend must drain cleanly.
+(
+	sleep 0.15
+	kill -TERM "$b1_pid"
+) &
+killer_pid=$!
+for n in 1 2 3 4 5 6 7 8 9 10 11 12; do
+	curl -fsS -X POST "$gw/v1/jobs?wait=1" \
+		-d "{\"type\":\"gate\",\"seed\":$((100 + n)),\"params\":{\"gate\":\"TSX_XOR\",\"random\":4}}" \
+		>/dev/null || {
+		echo "burst request $n failed during backend loss"
+		exit 1
+	}
+	sleep 0.05
+done
+wait "$killer_pid"
+wait "$b1_pid" # set -e: non-zero means the SIGTERMed backend did not drain cleanly
+sleep 0.5      # > probe interval: the prober confirms the death
+curl -fsS "$gw/v1/cluster" | grep -q '"state": "down"' || {
+	echo "/v1/cluster does not reflect the dead backend"
+	exit 1
+}
+"$tmpdir/uwm-top" -addr "$gw" -once >/dev/null
+kill -TERM "$gw_pid"
+wait "$gw_pid" # set -e: non-zero means the gateway did not drain cleanly
+kill -TERM "$b2_pid"
+wait "$b2_pid"
 
 echo "== gate-health smoke =="
 # The deterministic drift scenario: a drifted-noise machine must be

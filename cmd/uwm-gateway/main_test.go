@@ -1,0 +1,161 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"uwm/internal/engine"
+	"uwm/internal/engine/httpapi"
+	"uwm/internal/flightrec"
+)
+
+// newBackend starts a real in-process uwm-serve surface for the
+// gateway under test to front.
+func newBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	fr := flightrec.New(flightrec.Config{HeadRate: 1})
+	e, err := engine.New(engine.Config{Workers: 1, FlightRec: fr})
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	srv := httptest.NewServer(httpapi.New(e))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		e.Close(ctx)
+	})
+	return srv
+}
+
+// TestGatewayLifecycle drives the binary in-process: boot against two
+// live backends, serve a duplicate seeded submission through the cache,
+// report the cluster view, then drain cleanly on SIGTERM with exit 0.
+func TestGatewayLifecycle(t *testing.T) {
+	b1 := newBackend(t)
+	b2 := newBackend(t)
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	sigs := make(chan os.Signal, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain([]string{
+			"-addr", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-backends", b1.URL + "," + b2.URL,
+			"-probe-interval", "100ms",
+		}, sigs)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(60 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("gateway never wrote its address file")
+		}
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			addr = string(b)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	// The same seeded job twice: the repeat must be a byte-identical
+	// cache hit.
+	job := `{"type":"gate","seed":11,"params":{"gate":"TSX_XOR","random":4}}`
+	var bodies [2][]byte
+	for i := range bodies {
+		resp, err := http.Post(base+"/v1/jobs?wait=1", "application/json", strings.NewReader(job))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		bodies[i], err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d: status %d err %v", i, resp.StatusCode, err)
+		}
+		if want := map[int]string{0: "miss", 1: "hit"}[i]; resp.Header.Get("X-Cache") != want {
+			t.Fatalf("submit %d X-Cache = %q, want %q", i, resp.Header.Get("X-Cache"), want)
+		}
+	}
+	if string(bodies[0]) != string(bodies[1]) {
+		t.Fatal("cached repeat is not byte-identical")
+	}
+
+	resp, err = http.Get(base + "/v1/cluster")
+	if err != nil {
+		t.Fatalf("/v1/cluster: %v", err)
+	}
+	var st struct {
+		Backends []struct {
+			State string `json:"state"`
+		} `json:"backends"`
+		Cache struct {
+			Hits uint64 `json:"hits"`
+		} `json:"cache"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || len(st.Backends) != 2 {
+		t.Fatalf("/v1/cluster: %v (%+v)", err, st)
+	}
+	if st.Cache.Hits != 1 {
+		t.Fatalf("cluster view reports %d cache hits, want 1", st.Cache.Hits)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	expo, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d err %v", resp.StatusCode, err)
+	}
+	for _, want := range []string{"uwm_build_info{", "uwm_gateway_cache_hits_total 1", "uwm_gateway_backend_up{"} {
+		if !strings.Contains(string(expo), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d after SIGTERM, want 0", code)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("gateway did not drain after SIGTERM")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("gateway still answering after drain")
+	}
+}
+
+// TestGatewayBadFlags keeps the usage exit code stable.
+func TestGatewayBadFlags(t *testing.T) {
+	if code := realMain([]string{"-no-such-flag"}, make(chan os.Signal)); code != 2 {
+		t.Errorf("exit code %d for bad flags, want 2", code)
+	}
+	if code := realMain(nil, make(chan os.Signal)); code != 2 {
+		t.Errorf("exit code %d without -backends, want 2", code)
+	}
+}

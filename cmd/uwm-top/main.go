@@ -10,6 +10,12 @@
 //	uwm-top -addr http://localhost:8080             # refresh every 2s
 //	uwm-top -addr http://localhost:8080 -once       # one snapshot, no TUI
 //
+// Pointed at a cluster gateway (uwm-gateway) instead of a single
+// uwm-serve, the per-worker panels give way to a backends panel polled
+// from GET /v1/cluster: per-backend routing state, weight, latency EWMA
+// and in-flight count, next to the result cache's hit ratio and the
+// hedge accounting.
+//
 // The per-worker panels are rendered by the same code the offline
 // `uwm-trace -health` mode uses, so an operator watching uwm-top and an
 // engineer replaying the recorded trace read identical pictures.
@@ -150,10 +156,11 @@ func renderFrame(base string, width int) (string, error) {
 	if err := getJSON(base+"/healthz", &hz); err != nil {
 		return "", err
 	}
+	// Worker detail only exists on a uwm-serve; pointed at a cluster
+	// gateway the endpoint 404s and the per-worker panels are skipped
+	// (the backends panel takes their place).
 	var workers []workerView
-	if err := getJSON(base+"/v1/health/detail", &workers); err != nil {
-		return "", err
-	}
+	_ = getJSON200(base+"/v1/health/detail", &workers)
 	counters, _ := scrapeCounters(base + "/metrics") // metrics are optional garnish
 
 	var b strings.Builder
@@ -171,6 +178,7 @@ func renderFrame(base string, width int) (string, error) {
 		}
 		b.WriteByte('\n')
 	}
+	renderCluster(&b, base)
 	renderSLO(&b, base)
 	renderTraces(&b, base)
 	for _, w := range workers {
@@ -178,6 +186,64 @@ func renderFrame(base string, width int) (string, error) {
 		b.WriteString(health.RenderSnapshot(w.Snapshot, width))
 	}
 	return b.String(), nil
+}
+
+// backendView mirrors the fields of a cluster.BackendStatus row this
+// console displays.
+type backendView struct {
+	Index       int     `json:"index"`
+	URL         string  `json:"url"`
+	State       string  `json:"state"`
+	Weight      float64 `json:"weight"`
+	EWMASeconds float64 `json:"ewma_seconds"`
+	Inflight    int64   `json:"inflight"`
+	LastError   string  `json:"last_error"`
+}
+
+// clusterView mirrors the GET /v1/cluster payload.
+type clusterView struct {
+	Backends []backendView `json:"backends"`
+	Cache    struct {
+		Entries   int     `json:"entries"`
+		Hits      uint64  `json:"hits"`
+		Misses    uint64  `json:"misses"`
+		Collapsed uint64  `json:"collapsed"`
+		HitRatio  float64 `json:"hit_ratio"`
+	} `json:"cache"`
+	Hedge struct {
+		Launched   uint64 `json:"launched"`
+		Won        uint64 `json:"won"`
+		Suppressed uint64 `json:"suppressed"`
+	} `json:"hedge"`
+}
+
+// renderCluster appends the gateway backends panel: per-backend state,
+// routing weight, latency EWMA and in-flight count, plus the result
+// cache's hit ratio and the hedge accounting. Pointed at a plain
+// uwm-serve (404) the panel is just omitted.
+func renderCluster(b *strings.Builder, base string) {
+	var cv clusterView
+	if err := getJSON200(base+"/v1/cluster", &cv); err != nil || len(cv.Backends) == 0 {
+		return
+	}
+	routable := 0
+	for _, be := range cv.Backends {
+		if be.State == "up" || be.State == "unknown" {
+			routable++
+		}
+	}
+	fmt.Fprintf(b, "cluster: %d/%d backend(s) routable  cache hit %.0f%% (%d hit / %d miss / %d collapsed)  hedges %d launched %d won %d suppressed\n",
+		routable, len(cv.Backends), cv.Cache.HitRatio*100,
+		cv.Cache.Hits, cv.Cache.Misses, cv.Cache.Collapsed,
+		cv.Hedge.Launched, cv.Hedge.Won, cv.Hedge.Suppressed)
+	for _, be := range cv.Backends {
+		fmt.Fprintf(b, "  [%d] %-28s %-9s weight=%.2f ewma=%6.1fms inflight=%d",
+			be.Index, be.URL, be.State, be.Weight, be.EWMASeconds*1e3, be.Inflight)
+		if be.LastError != "" {
+			fmt.Fprintf(b, "  err=%s", be.LastError)
+		}
+		b.WriteByte('\n')
+	}
 }
 
 // sloView mirrors the fields of an slo.SLOStatus this console

@@ -108,6 +108,65 @@ func TestOnceSnapshot(t *testing.T) {
 	}
 }
 
+// fakeGateway builds a test server shaped like uwm-gateway: no worker
+// detail endpoint, but a /v1/cluster backends view.
+func fakeGateway(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"status":"ok","backends":2,"routable_backends":1}`)
+	})
+	mux.HandleFunc("/v1/cluster", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{
+			"backends":[
+				{"index":0,"url":"http://127.0.0.1:8081","state":"up","weight":0.84,
+				 "ewma_seconds":0.0095,"inflight":2},
+				{"index":1,"url":"http://127.0.0.1:8082","state":"down","weight":1,
+				 "ewma_seconds":0,"inflight":0,"last_error":"connection refused"}
+			],
+			"cache":{"entries":3,"hits":6,"misses":2,"collapsed":1,"hit_ratio":0.75},
+			"hedge":{"launched":4,"won":1,"lost":3,"suppressed":2,"budget":1.5}}`)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "# TYPE uwm_gateway_requests_total counter\nuwm_gateway_requests_total 8\n")
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestGatewaySnapshot points the console at a gateway-shaped server:
+// the per-worker panels (no /v1/health/detail there) must give way to
+// the backends panel without failing the frame.
+func TestGatewaySnapshot(t *testing.T) {
+	srv := fakeGateway(t)
+	var out strings.Builder
+	if code := realMain([]string{"-addr", srv.URL, "-once"}, &out, nil); code != 0 {
+		t.Fatalf("realMain -once = %d, want 0:\n%s", code, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"cluster: 1/2 backend(s) routable",
+		"cache hit 75% (6 hit / 2 miss / 1 collapsed)",
+		"hedges 4 launched 1 won 2 suppressed",
+		"[0] http://127.0.0.1:8081",
+		"weight=0.84",
+		"ewma=   9.5ms",
+		"inflight=2",
+		"[1] http://127.0.0.1:8082",
+		"err=connection refused",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("gateway snapshot missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "-- worker") {
+		t.Errorf("worker panels rendered against a gateway:\n%s", got)
+	}
+}
+
 // syncBuf lets the stale-banner test read the console's output while
 // realMain's poll loop is still writing it.
 type syncBuf struct {

@@ -16,8 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -47,15 +49,7 @@ func main() {
 	// Submit asynchronously: vote-of-2-out-of-3 redundant hashes, so a
 	// gate error in one attempt is outvoted by the two clean ones.
 	body := fmt.Sprintf(`{"type":"sha1","params":{"message":%q},"attempts":3,"vote":2}`, *msg)
-	req, err := http.NewRequest(http.MethodPost, "http://"+base+"/v1/jobs", strings.NewReader(body))
-	if err != nil {
-		log.Fatal(err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	if *reqID != "" {
-		req.Header.Set("X-Request-Id", *reqID)
-	}
-	resp, err := client.Do(req)
+	resp, err := submitWithRetry(client, "http://"+base+"/v1/jobs", body, *reqID)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -111,6 +105,41 @@ func main() {
 	fmt.Printf("  reference: %s\n", res.Reference)
 	fmt.Printf("  match: %v after %d gate ops; %d/%d attempts agreed (quorum %v)\n",
 		res.Match, res.GateOps, snap.Result.Votes, snap.Result.Attempts, snap.Result.Quorum)
+}
+
+// submitWithRetry POSTs the job and honors the service's backpressure:
+// a 429 carries a Retry-After hint derived from the live queue depth
+// and drain rate, so the client waits that long — with ±25% jitter, so
+// a herd of rejected clients does not re-collide on the same tick —
+// and rebuilds the request for another attempt.
+func submitWithRetry(client *http.Client, url, body, reqID string) (*http.Response, error) {
+	const maxAttempts = 5
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if reqID != "" {
+			req.Header.Set("X-Request-Id", reqID)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || attempt == maxAttempts {
+			return resp, nil
+		}
+		wait := time.Second
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			wait = time.Duration(secs) * time.Second
+		}
+		resp.Body.Close()
+		wait += time.Duration(rand.Int64N(int64(wait)/2)) - wait/4
+		fmt.Printf("  429 busy: retrying in %s (attempt %d/%d)\n",
+			wait.Round(time.Millisecond), attempt, maxAttempts)
+		time.Sleep(wait)
+	}
 }
 
 // selfHost stands up the engine + HTTP API on an ephemeral port.

@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"uwm/internal/engine/httpapi"
+)
+
+// cacheKey derives the content address of a job submission. Jobs are
+// deterministic given (type, payload, seed): every attempt reseeds the
+// worker machine's noise stream from the job seed, so two submissions
+// with the same key produce byte-identical voted results on any
+// backend. The key therefore hashes the canonicalized request — params
+// re-marshaled through a map so key order and whitespace don't split
+// identical jobs — plus everything else that shapes the result bytes
+// (seed, attempts, vote).
+//
+// A submission without an explicit seed is NOT cacheable: the backend
+// derives its sub-seed from the engine's submission counter, so two
+// such submissions are different draws by design.
+func cacheKey(req httpapi.JobRequest) (string, bool) {
+	if req.Seed == 0 || req.Type == "" {
+		return "", false
+	}
+	params := any(nil)
+	if len(req.Params) > 0 {
+		if err := json.Unmarshal(req.Params, &params); err != nil {
+			return "", false
+		}
+	}
+	canon, err := json.Marshal(struct {
+		Type     string `json:"type"`
+		Params   any    `json:"params"`
+		Seed     uint64 `json:"seed"`
+		Attempts int    `json:"attempts"`
+		Vote     int    `json:"vote"`
+	}{req.Type, params, req.Seed, req.Attempts, req.Vote})
+	if err != nil {
+		return "", false
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:]), true
+}
+
+// flight is one in-flight leader a set of duplicate submissions
+// collapsed onto. done closes when the leader finished; body is the
+// leader's response bytes, nil when the leader's attempt failed (the
+// followers then run their own submissions instead of caching a
+// failure).
+type flight struct {
+	done chan struct{}
+	body []byte
+}
+
+// cacheEntry is one stored result.
+type cacheEntry struct {
+	key   string
+	body  []byte
+	added time.Time
+}
+
+// resultCache is the single-flight, content-addressed result cache:
+// an LRU bounded by entry count and total bytes, entries aged out by
+// TTL, and an in-flight table that collapses concurrent duplicates
+// onto one backend submission.
+type resultCache struct {
+	mu       sync.Mutex
+	ttl      time.Duration
+	maxEnt   int
+	maxBytes int
+
+	lru      *list.List // front = most recent
+	index    map[string]*list.Element
+	curBytes int
+	inflight map[string]*flight
+
+	hits, misses, collapsed, evictions, expired uint64
+}
+
+func newResultCache(maxEntries, maxBytes int, ttl time.Duration) *resultCache {
+	return &resultCache{
+		ttl:      ttl,
+		maxEnt:   maxEntries,
+		maxBytes: maxBytes,
+		lru:      list.New(),
+		index:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// begin resolves a key against the cache: a fresh entry returns its
+// body (hit); an in-flight leader returns the flight to wait on
+// (collapse); otherwise the caller becomes the leader and must call
+// finish exactly once.
+func (c *resultCache) begin(key string, now time.Time) (body []byte, fl *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		if now.Sub(ent.added) < c.ttl {
+			c.lru.MoveToFront(el)
+			c.hits++
+			return ent.body, nil, false
+		}
+		c.removeLocked(el)
+		c.expired++
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.collapsed++
+		return nil, fl, false
+	}
+	c.misses++
+	fl = &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	return nil, fl, true
+}
+
+// finish publishes the leader's outcome: a non-nil body is stored and
+// handed to every collapsed follower; nil only releases the followers
+// (they fall back to their own submissions).
+func (c *resultCache) finish(key string, fl *flight, body []byte, now time.Time) {
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if body != nil {
+		c.storeLocked(key, body, now)
+	}
+	c.mu.Unlock()
+	fl.body = body
+	close(fl.done)
+}
+
+func (c *resultCache) storeLocked(key string, body []byte, now time.Time) {
+	if el, ok := c.index[key]; ok {
+		c.removeLocked(el)
+	}
+	ent := &cacheEntry{key: key, body: body, added: now}
+	c.index[key] = c.lru.PushFront(ent)
+	c.curBytes += len(body)
+	for (c.maxEnt > 0 && c.lru.Len() > c.maxEnt) ||
+		(c.maxBytes > 0 && c.curBytes > c.maxBytes && c.lru.Len() > 1) {
+		c.removeLocked(c.lru.Back())
+		c.evictions++
+	}
+}
+
+func (c *resultCache) removeLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.index, ent.key)
+	c.curBytes -= len(ent.body)
+}
+
+// CacheStats is the cache's point-in-time accounting, served on
+// GET /v1/cluster and mirrored into the gateway metrics.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int    `json:"bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Collapsed uint64 `json:"collapsed"`
+	Evictions uint64 `json:"evictions"`
+	Expired   uint64 `json:"expired"`
+	// HitRatio is hits/(hits+misses), 0 with no lookups yet.
+	HitRatio   float64 `json:"hit_ratio"`
+	TTLSeconds float64 `json:"ttl_seconds"`
+}
+
+func (c *resultCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		Entries:    c.lru.Len(),
+		Bytes:      c.curBytes,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Collapsed:  c.collapsed,
+		Evictions:  c.evictions,
+		Expired:    c.expired,
+		TTLSeconds: c.ttl.Seconds(),
+	}
+	if n := s.Hits + s.Misses; n > 0 {
+		s.HitRatio = float64(s.Hits) / float64(n)
+	}
+	return s
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"uwm/internal/engine/httpapi"
+)
+
+func req(body string) httpapi.JobRequest {
+	var r httpapi.JobRequest
+	if err := json.Unmarshal([]byte(body), &r); err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func TestCacheKeyCanonicalizesParams(t *testing.T) {
+	a, okA := cacheKey(req(`{"type":"gate","seed":7,"params":{"gate":"TSX_XOR","random":4}}`))
+	b, okB := cacheKey(req(`{"type":"gate","seed":7,"params":{  "random": 4, "gate": "TSX_XOR" }}`))
+	if !okA || !okB {
+		t.Fatal("seeded requests must be cacheable")
+	}
+	if a != b {
+		t.Fatalf("key order / whitespace split identical jobs:\n%s\n%s", a, b)
+	}
+}
+
+func TestCacheKeyDistinguishesResultShapingFields(t *testing.T) {
+	base := `{"type":"gate","seed":7,"params":{"gate":"TSX_XOR"}}`
+	k0, _ := cacheKey(req(base))
+	for name, variant := range map[string]string{
+		"seed":     `{"type":"gate","seed":8,"params":{"gate":"TSX_XOR"}}`,
+		"type":     `{"type":"sha1","seed":7,"params":{"gate":"TSX_XOR"}}`,
+		"params":   `{"type":"gate","seed":7,"params":{"gate":"TSX_AND"}}`,
+		"attempts": `{"type":"gate","seed":7,"attempts":3,"params":{"gate":"TSX_XOR"}}`,
+		"vote":     `{"type":"gate","seed":7,"attempts":3,"vote":2,"params":{"gate":"TSX_XOR"}}`,
+	} {
+		if k, ok := cacheKey(req(variant)); !ok || k == k0 {
+			t.Errorf("%s variant did not change the key (ok=%v)", name, ok)
+		}
+	}
+}
+
+func TestCacheKeyRejectsUnseeded(t *testing.T) {
+	// Without an explicit seed the backend derives a per-submission
+	// sub-seed, so two submissions are different draws by design and
+	// must never share a cache slot.
+	if _, ok := cacheKey(req(`{"type":"gate","params":{"gate":"TSX_XOR"}}`)); ok {
+		t.Fatal("unseeded request reported cacheable")
+	}
+	if _, ok := cacheKey(req(`{"seed":7}`)); ok {
+		t.Fatal("untyped request reported cacheable")
+	}
+}
+
+func TestCacheHitAndTTLExpiry(t *testing.T) {
+	c := newResultCache(4, 1<<20, 50*time.Millisecond)
+	now := time.Now()
+	body, fl, leader := c.begin("k", now)
+	if body != nil || !leader {
+		t.Fatal("first lookup must make the caller the leader")
+	}
+	c.finish("k", fl, []byte("result"), now)
+
+	if body, _, _ := c.begin("k", now.Add(10*time.Millisecond)); string(body) != "result" {
+		t.Fatalf("fresh entry missed: %q", body)
+	}
+	body, fl2, leader := c.begin("k", now.Add(time.Second))
+	if body != nil || !leader {
+		t.Fatal("expired entry must re-elect a leader")
+	}
+	c.finish("k", fl2, nil, now)
+	st := c.stats()
+	if st.Hits != 1 || st.Expired != 1 {
+		t.Fatalf("stats = %+v, want 1 hit and 1 expiry", st)
+	}
+}
+
+func TestCacheEvictsByEntriesAndBytes(t *testing.T) {
+	c := newResultCache(2, 1<<20, time.Minute)
+	now := time.Now()
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("k%d", i)
+		_, fl, _ := c.begin(key, now)
+		c.finish(key, fl, []byte("v"), now.Add(time.Duration(i)))
+	}
+	if st := c.stats(); st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("entry bound: stats = %+v, want 2 entries, 1 eviction", st)
+	}
+	if body, _, _ := c.begin("k0", now); body != nil {
+		t.Fatal("oldest entry survived the entry bound")
+	}
+
+	c = newResultCache(100, 10, time.Minute)
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("b%d", i)
+		_, fl, _ := c.begin(key, now)
+		c.finish(key, fl, make([]byte, 6), now)
+	}
+	if st := c.stats(); st.Bytes > 10 {
+		t.Fatalf("byte bound exceeded: %+v", st)
+	}
+}
+
+func TestCacheSingleFlightCollapses(t *testing.T) {
+	c := newResultCache(4, 1<<20, time.Minute)
+	now := time.Now()
+	_, fl, leader := c.begin("k", now)
+	if !leader {
+		t.Fatal("want leadership on first begin")
+	}
+
+	const followers = 4
+	var wg sync.WaitGroup
+	got := make([]string, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, ffl, fLeader := c.begin("k", now)
+			if fLeader || body != nil {
+				t.Errorf("follower %d: leader=%v body=%q, want collapse", i, fLeader, body)
+				return
+			}
+			<-ffl.done
+			got[i] = string(ffl.body)
+		}(i)
+	}
+	// Give followers a moment to park on the flight before publishing.
+	time.Sleep(10 * time.Millisecond)
+	c.finish("k", fl, []byte("voted"), now)
+	wg.Wait()
+	for i, g := range got {
+		if g != "voted" {
+			t.Fatalf("follower %d got %q, want the leader's bytes", i, g)
+		}
+	}
+	if st := c.stats(); st.Collapsed != followers {
+		t.Fatalf("collapsed = %d, want %d", st.Collapsed, followers)
+	}
+}
+
+func TestCacheFailedLeaderReleasesFollowersEmptyHanded(t *testing.T) {
+	c := newResultCache(4, 1<<20, time.Minute)
+	now := time.Now()
+	_, fl, _ := c.begin("k", now)
+	done := make(chan []byte, 1)
+	go func() {
+		_, ffl, _ := c.begin("k", now)
+		<-ffl.done
+		done <- ffl.body
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.finish("k", fl, nil, now)
+	if body := <-done; body != nil {
+		t.Fatalf("failed leader published %q", body)
+	}
+	if body, _, leader := c.begin("k", now); body != nil || !leader {
+		t.Fatal("failure must not be cached")
+	}
+}

@@ -1,0 +1,387 @@
+package cluster
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uwm/internal/metrics"
+)
+
+// State is a backend's routing eligibility, as decided by the last
+// probe or by live traffic (a failed submission marks a backend before
+// the prober confirms it).
+type State string
+
+const (
+	// StateUnknown is the pre-first-probe state. The router treats it
+	// as routable so a freshly started gateway does not black-hole
+	// traffic while the first probe round is still in flight.
+	StateUnknown State = "unknown"
+	// StateUp means the last probe or live request succeeded.
+	StateUp State = "up"
+	// StateDraining means /healthz answered 503: the backend is
+	// shutting down, or a quorum of its workers is unhealthy. Either
+	// way it must not receive new jobs until a probe sees it recover.
+	StateDraining State = "draining"
+	// StateShedding means the backend recently answered 429; the
+	// router skips it until its Retry-After hint has elapsed.
+	StateShedding State = "shedding"
+	// StateDown means the backend is unreachable.
+	StateDown State = "down"
+)
+
+// ewmaAlpha is the smoothing factor of the per-backend latency EWMA:
+// every new sample contributes 20%, so the estimate tracks a shifted
+// latency regime within a handful of requests without whiplashing on
+// one outlier.
+const ewmaAlpha = 0.2
+
+// ewmaRef is the latency at which a backend's routing weight halves.
+// Weights are 1/(1+ewma/ewmaRef): a 50ms backend weighs half of an
+// instant one, a 150ms backend a quarter — latency shifts share, it
+// never hard-excludes.
+const ewmaRef = 50 * time.Millisecond
+
+// sloDegradedFactor is the weight multiplier applied while a backend
+// reports an exhausted error budget on any SLO — route around a
+// backend that is burning its budget, without abandoning it entirely.
+const sloDegradedFactor = 0.5
+
+// Backend is one uwm-serve instance the gateway fronts.
+type Backend struct {
+	// URL is the backend's base URL (scheme://host:port, no trailing
+	// slash).
+	URL string
+	// Index is the backend's stable position in the pool; it labels
+	// the backend's metrics and names it in /v1/cluster.
+	Index int
+
+	mu          sync.Mutex
+	state       State
+	lastErr     string
+	lastProbe   time.Time
+	ewma        float64 // seconds; 0 until the first sample
+	shedUntil   time.Time
+	sloDegraded bool
+
+	inflight   atomic.Int64
+	probes     atomic.Uint64
+	probeFails atomic.Uint64
+}
+
+// State returns the backend's current routing state, resolving an
+// elapsed shedding window back to its underlying state.
+func (b *Backend) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked(time.Now())
+}
+
+func (b *Backend) stateLocked(now time.Time) State {
+	if b.state == StateUp && now.Before(b.shedUntil) {
+		return StateShedding
+	}
+	return b.state
+}
+
+// routable reports whether the router may pick this backend: up (and
+// not inside a shedding window) or not yet probed.
+func (b *Backend) routable(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.stateLocked(now)
+	return st == StateUp || st == StateUnknown
+}
+
+// weight is the backend's routing weight: inverse-latency via the
+// EWMA, halved while the backend's SLO budget is exhausted. A backend
+// with no samples yet weighs 1 (full share).
+func (b *Backend) weight() float64 {
+	b.mu.Lock()
+	ew := b.ewma
+	deg := b.sloDegraded
+	b.mu.Unlock()
+	w := 1.0
+	if ew > 0 {
+		w = 1 / (1 + ew/ewmaRef.Seconds())
+	}
+	if deg {
+		w *= sloDegradedFactor
+	}
+	return w
+}
+
+// observeLatency folds one successful sync-request latency into the
+// EWMA.
+func (b *Backend) observeLatency(d time.Duration) {
+	s := d.Seconds()
+	b.mu.Lock()
+	if b.ewma == 0 {
+		b.ewma = s
+	} else {
+		b.ewma = (1-ewmaAlpha)*b.ewma + ewmaAlpha*s
+	}
+	b.mu.Unlock()
+}
+
+// markUp records a live success (probes also call it).
+func (b *Backend) markUp() {
+	b.mu.Lock()
+	b.state = StateUp
+	b.lastErr = ""
+	b.mu.Unlock()
+}
+
+// markDown records an unreachable backend, from a probe or a failed
+// live request — live traffic must not wait a probe interval to stop
+// hitting a dead node.
+func (b *Backend) markDown(err string) {
+	b.mu.Lock()
+	b.state = StateDown
+	b.lastErr = err
+	b.mu.Unlock()
+}
+
+// markDraining records a 503 — the backend refuses new jobs.
+func (b *Backend) markDraining(reason string) {
+	b.mu.Lock()
+	b.state = StateDraining
+	b.lastErr = reason
+	b.mu.Unlock()
+}
+
+// shed opens a shedding window after a 429: the router skips the
+// backend until the backend's own Retry-After hint has elapsed.
+func (b *Backend) shed(retryAfter time.Duration) {
+	b.mu.Lock()
+	until := time.Now().Add(retryAfter)
+	if until.After(b.shedUntil) {
+		b.shedUntil = until
+	}
+	b.mu.Unlock()
+}
+
+// Pool is the probed backend set plus the routing policy over it.
+type Pool struct {
+	backends []*Backend
+	interval time.Duration
+	client   *http.Client
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	probeFailures *metrics.Counter
+}
+
+// newPool builds the pool and starts the probe loop. URLs are
+// normalized to scheme://host:port form (a bare host:port gets
+// http://).
+func newPool(urls []string, interval time.Duration, client *http.Client, reg *metrics.Registry) *Pool {
+	p := &Pool{
+		interval: interval,
+		client:   client,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for i, u := range urls {
+		b := &Backend{URL: normalizeURL(u), Index: i, state: StateUnknown}
+		p.backends = append(p.backends, b)
+		label := metrics.L("backend", strconv.Itoa(i))
+		reg.GaugeFunc(MetricBackendUp, "1 while the backend is routable", func() float64 {
+			if b.routable(time.Now()) {
+				return 1
+			}
+			return 0
+		}, label)
+		reg.GaugeFunc(MetricBackendEWMA, "EWMA of successful request latency in seconds",
+			func() float64 { b.mu.Lock(); defer b.mu.Unlock(); return b.ewma }, label)
+		reg.GaugeFunc(MetricBackendInflight, "requests currently proxied to the backend",
+			func() float64 { return float64(b.inflight.Load()) }, label)
+	}
+	p.probeFailures = reg.Counter(MetricProbeFailures, "health probes that found a backend unreachable")
+	go p.run()
+	return p
+}
+
+// normalizeURL accepts host:port or a full URL and returns
+// scheme://host:port without a trailing slash.
+func normalizeURL(u string) string {
+	u = strings.TrimRight(u, "/")
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return u
+}
+
+// Backends returns the pool's members in index order.
+func (p *Pool) Backends() []*Backend { return p.backends }
+
+// run is the probe loop: one immediate round, then one per interval,
+// until Close.
+func (p *Pool) run() {
+	defer close(p.done)
+	p.probeAll()
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.probeAll()
+		}
+	}
+}
+
+// Close stops the probe loop and waits for it to exit.
+func (p *Pool) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	<-p.done
+}
+
+// probeAll probes every backend concurrently; a slow backend must not
+// delay the others' state refresh.
+func (p *Pool) probeAll() {
+	var wg sync.WaitGroup
+	for _, b := range p.backends {
+		wg.Add(1)
+		go func(b *Backend) {
+			defer wg.Done()
+			p.probe(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// healthzProbe mirrors the httpapi healthz body fields the prober
+// reads.
+type healthzProbe struct {
+	Status string `json:"status"`
+}
+
+// sloProbe mirrors the GET /v1/slo fields the prober reads.
+type sloProbe struct {
+	SLOs []struct {
+		BudgetRemaining float64 `json:"budget_remaining"`
+	} `json:"slos"`
+}
+
+// probe refreshes one backend's state from its /healthz (routability)
+// and /v1/slo (weight penalty while any error budget is exhausted).
+func (p *Pool) probe(b *Backend) {
+	b.probes.Add(1)
+	b.mu.Lock()
+	b.lastProbe = time.Now()
+	b.mu.Unlock()
+
+	resp, err := p.client.Get(b.URL + "/healthz")
+	if err != nil {
+		b.probeFails.Add(1)
+		p.probeFailures.Inc()
+		b.markDown(err.Error())
+		return
+	}
+	var hz healthzProbe
+	decodeErr := json.NewDecoder(resp.Body).Decode(&hz)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		b.markUp()
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		reason := hz.Status
+		if decodeErr != nil || reason == "" {
+			reason = "healthz 503"
+		}
+		b.markDraining(reason)
+		return
+	default:
+		b.probeFails.Add(1)
+		p.probeFailures.Inc()
+		b.markDown("healthz status " + strconv.Itoa(resp.StatusCode))
+		return
+	}
+
+	// SLO budget probe: best-effort garnish. A backend without the SLO
+	// engine (404) or an unreadable body just clears the penalty.
+	degraded := false
+	if resp, err := p.client.Get(b.URL + "/v1/slo"); err == nil {
+		if resp.StatusCode == http.StatusOK {
+			var sp sloProbe
+			if json.NewDecoder(resp.Body).Decode(&sp) == nil {
+				for _, s := range sp.SLOs {
+					if s.BudgetRemaining <= 0 {
+						degraded = true
+					}
+				}
+			}
+		}
+		resp.Body.Close()
+	}
+	b.mu.Lock()
+	b.sloDegraded = degraded
+	b.mu.Unlock()
+}
+
+// Pick selects the backend for an affinity key with weighted
+// rendezvous hashing: every backend scores -weight/ln(h(key,backend))
+// and the best routable, non-excluded score wins. The same key lands
+// on the same backend while the pool is stable — that is the
+// calibration-affinity property: a job family keeps hitting the
+// backend whose workers' machines are warm for it — yet each backend's
+// share of the keyspace scales with its latency-derived weight, and
+// removing a backend only remaps the keys it owned.
+//
+// When no routable backend remains, Pick falls back to any
+// non-excluded backend regardless of state: trying a draining node and
+// surfacing its 503 beats refusing on possibly-stale probe data.
+func (p *Pool) Pick(key string, excluded map[int]bool) *Backend {
+	now := time.Now()
+	if b := p.pick(key, excluded, func(b *Backend) bool { return b.routable(now) }); b != nil {
+		return b
+	}
+	return p.pick(key, excluded, func(*Backend) bool { return true })
+}
+
+func (p *Pool) pick(key string, excluded map[int]bool, eligible func(*Backend) bool) *Backend {
+	var best *Backend
+	bestScore := math.Inf(-1)
+	for _, b := range p.backends {
+		if excluded[b.Index] || !eligible(b) {
+			continue
+		}
+		s := rendezvousScore(key, b.URL, b.weight())
+		if s > bestScore {
+			best, bestScore = b, s
+		}
+	}
+	return best
+}
+
+// rendezvousScore is the weighted-rendezvous score: hash (key,
+// backend) to a uniform u in (0,1), score -w/ln(u). Scores follow an
+// exponential distribution with rate 1/w, so each backend wins a
+// keyspace share proportional to its weight.
+func rendezvousScore(key, url string, w float64) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0xff})
+	h.Write([]byte(url))
+	// 53 mantissa bits of the hash, mapped into (0,1]; nudge 0 off the
+	// log's pole.
+	u := float64(h.Sum64()>>11) / float64(1<<53)
+	if u <= 0 {
+		u = 1 / float64(1<<53)
+	}
+	if w <= 0 {
+		w = 1e-9
+	}
+	return -w / math.Log(u)
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// staticPool builds a pool with no probe loop, for routing-policy
+// tests that want full control of backend state.
+func staticPool(states ...State) *Pool {
+	p := &Pool{}
+	for i, st := range states {
+		p.backends = append(p.backends, &Backend{
+			URL:   fmt.Sprintf("http://backend-%d", i),
+			Index: i,
+			state: st,
+		})
+	}
+	return p
+}
+
+func TestPickIsStablePerKey(t *testing.T) {
+	p := staticPool(StateUp, StateUp, StateUp)
+	first := p.Pick("gate\xff7", nil)
+	if first == nil {
+		t.Fatal("Pick returned nil with three up backends")
+	}
+	for i := 0; i < 50; i++ {
+		if got := p.Pick("gate\xff7", nil); got != first {
+			t.Fatalf("iteration %d: key remapped from backend %d to %d with a stable pool",
+				i, first.Index, got.Index)
+		}
+	}
+}
+
+func TestPickSpreadsAcrossKeys(t *testing.T) {
+	p := staticPool(StateUp, StateUp, StateUp)
+	seen := map[int]int{}
+	for seed := 0; seed < 200; seed++ {
+		b := p.Pick(fmt.Sprintf("gate\xff%d", seed), nil)
+		seen[b.Index]++
+	}
+	for i := range p.backends {
+		if seen[i] == 0 {
+			t.Fatalf("backend %d never selected across 200 keys: %v", i, seen)
+		}
+	}
+}
+
+func TestPickExcludesAndFailsOver(t *testing.T) {
+	p := staticPool(StateUp, StateUp)
+	first := p.Pick("sha1\xff1", nil)
+	second := p.Pick("sha1\xff1", map[int]bool{first.Index: true})
+	if second == nil || second.Index == first.Index {
+		t.Fatalf("exclusion did not move the key off backend %d", first.Index)
+	}
+	if b := p.Pick("sha1\xff1", map[int]bool{0: true, 1: true}); b != nil {
+		t.Fatalf("all-excluded pick returned backend %d, want nil", b.Index)
+	}
+}
+
+func TestPickSkipsDrainingAndDown(t *testing.T) {
+	p := staticPool(StateUp, StateUp, StateUp)
+	for seed := 0; seed < 50; seed++ {
+		key := fmt.Sprintf("gate\xff%d", seed)
+		victim := p.Pick(key, nil)
+		victim.markDraining("test")
+		if got := p.Pick(key, nil); got == victim {
+			t.Fatalf("seed %d: key stayed on draining backend %d", seed, victim.Index)
+		}
+		victim.markUp()
+	}
+	// With every backend unroutable, desperation routing still returns
+	// one: trying a draining backend beats refusing outright.
+	for _, b := range p.backends {
+		b.markDown("test")
+	}
+	if b := p.Pick("gate\xff1", nil); b == nil {
+		t.Fatal("all-down pool refused to pick; want desperation fallback")
+	}
+}
+
+func TestPickSkipsSheddingUntilWindowElapses(t *testing.T) {
+	p := staticPool(StateUp, StateUp)
+	key := "apt\xff3"
+	victim := p.Pick(key, nil)
+	victim.shed(50 * time.Millisecond)
+	if victim.State() != StateShedding {
+		t.Fatalf("state after shed = %q, want shedding", victim.State())
+	}
+	if got := p.Pick(key, nil); got == victim {
+		t.Fatal("key stayed on shedding backend inside its Retry-After window")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if victim.State() != StateUp {
+		t.Fatalf("state after window elapsed = %q, want up", victim.State())
+	}
+	if got := p.Pick(key, nil); got != victim {
+		t.Fatalf("key did not return to backend %d after its shedding window", victim.Index)
+	}
+}
+
+func TestWeightShiftsShareTowardFastBackends(t *testing.T) {
+	p := staticPool(StateUp, StateUp)
+	// Backend 0 reports second-scale latency, backend 1 is pristine.
+	p.backends[0].observeLatency(time.Second)
+	slow, fast := 0, 0
+	for seed := 0; seed < 500; seed++ {
+		switch p.Pick(fmt.Sprintf("gate\xff%d", seed), nil).Index {
+		case 0:
+			slow++
+		default:
+			fast++
+		}
+	}
+	if fast <= slow {
+		t.Fatalf("latency-weighted routing gave the 1s-EWMA backend %d/500 keys vs %d", slow, fast)
+	}
+}
+
+func TestEWMAConverges(t *testing.T) {
+	b := &Backend{}
+	for i := 0; i < 100; i++ {
+		b.observeLatency(20 * time.Millisecond)
+	}
+	b.mu.Lock()
+	ew := b.ewma
+	b.mu.Unlock()
+	if ew < 0.015 || ew > 0.025 {
+		t.Fatalf("EWMA after 100 samples of 20ms = %v, want ~0.020", ew)
+	}
+}
+
+func TestNormalizeURL(t *testing.T) {
+	for in, want := range map[string]string{
+		"127.0.0.1:8081":         "http://127.0.0.1:8081",
+		"http://host:1/":         "http://host:1",
+		"https://host:2":         "https://host:2",
+		"http://127.0.0.1:9////": "http://127.0.0.1:9",
+	} {
+		if got := normalizeURL(in); got != want {
+			t.Errorf("normalizeURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -254,6 +254,50 @@ type Engine struct {
 	flight   *flightrec.Recorder
 	slos     *slo.Engine
 	log      *evlog.Logger
+
+	completions rateTracker
+}
+
+// rateTracker estimates the pool's recent job-completion rate from a
+// ring of completion timestamps. The serving layer divides the queue
+// depth by this rate to derive an honest Retry-After hint on 429 —
+// "come back when the backlog you are behind has drained", instead of
+// a hardcoded constant.
+type rateTracker struct {
+	mu    sync.Mutex
+	times [64]time.Time
+	next  int
+	n     int
+}
+
+// record notes one completion.
+func (rt *rateTracker) record(t time.Time) {
+	rt.mu.Lock()
+	rt.times[rt.next] = t
+	rt.next = (rt.next + 1) % len(rt.times)
+	if rt.n < len(rt.times) {
+		rt.n++
+	}
+	rt.mu.Unlock()
+}
+
+// rate returns completions per second over the window from the oldest
+// retained completion to now. Measuring to now (not to the newest
+// completion) makes the estimate decay while the pool sits idle or
+// wedged: a backlog behind a stalled pool yields a long, honest hint
+// rather than one frozen at the last burst's speed.
+func (rt *rateTracker) rate(now time.Time) float64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.n == 0 {
+		return 0
+	}
+	oldest := rt.times[(rt.next-rt.n+len(rt.times))%len(rt.times)]
+	window := now.Sub(oldest).Seconds()
+	if window <= 0 {
+		window = 1e-3
+	}
+	return float64(rt.n) / window
 }
 
 // New builds the pool: Workers rigs are constructed concurrently (each
@@ -354,6 +398,12 @@ func (e *Engine) EventLog() *evlog.Logger { return e.log }
 
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// DrainRate returns the pool's recent job-completion rate in jobs per
+// second, measured from the oldest retained completion to now (0 until
+// the first job completes). The HTTP layer derives its 429 Retry-After
+// hint from it.
+func (e *Engine) DrainRate() float64 { return e.completions.rate(time.Now()) }
 
 // Submit validates and enqueues a job. It never blocks: a full queue
 // returns ErrQueueFull immediately, which is the backpressure signal
@@ -671,6 +721,7 @@ func (e *Engine) runJob(rig *Rig, j *Job) {
 		}
 		e.slos.Observe(obs)
 	}
+	e.completions.record(time.Now())
 	// Only now wake Done() waiters: a synchronous client released any
 	// earlier could fetch the job's trace before the recorder decided to
 	// keep it and see a spurious 404.

@@ -42,7 +42,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -157,7 +159,7 @@ func New(e *engine.Engine) http.Handler {
 		}
 		writeJSON(w, code, healthzBody{Stats: st, Status: status})
 	})
-	return withRequestID(mux)
+	return WithRequestID(mux)
 }
 
 // quorumUnhealthy reports whether so many workers are unhealthy that
@@ -265,12 +267,14 @@ func tracesStream(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// withRequestID ensures every request carries a correlation id and
+// WithRequestID ensures every request carries a correlation id and
 // every response echoes it. Inbound X-Request-Id wins; without one, the
 // trace-id of a W3C traceparent header is adopted so jobs submitted by
 // an instrumented client correlate under the caller's distributed
-// trace; otherwise a fresh id is generated.
-func withRequestID(next http.Handler) http.Handler {
+// trace; otherwise a fresh id is generated. Exported so the cluster
+// gateway assigns ids by the same rules — an id minted at either tier
+// resolves identically at both.
+func WithRequestID(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get(requestIDHeader)
 		if len(id) > maxRequestIDLen {
@@ -357,7 +361,8 @@ func submit(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 	})
 	switch {
 	case errors.Is(err, engine.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After",
+			strconv.Itoa(retryAfterFrom(e.Stats().QueueDepth, e.DrainRate())))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 		return
 	case errors.Is(err, engine.ErrClosed):
@@ -382,6 +387,29 @@ func submit(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 		// The job still runs; hand back the poll handle.
 		writeJSON(w, http.StatusAccepted, job.Snapshot())
 	}
+}
+
+// retryAfterFrom derives the 429 Retry-After hint from live queue
+// state: the seconds the current backlog needs to drain at the
+// recently observed completion rate, clamped into [1, 30]. A pool
+// with no recent completions (cold start, or every worker wedged on
+// long jobs) reports 1 — an optimistic early retry beats advising a
+// long wait on no evidence. The clamp's ceiling keeps a deep queue
+// from telling clients (and the cluster gateway's shedding-aware
+// router) to go away for minutes when the estimate is necessarily
+// rough.
+func retryAfterFrom(queueDepth int, drainRate float64) int {
+	if drainRate <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(float64(queueDepth+1) / drainRate))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

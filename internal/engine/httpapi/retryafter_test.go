@@ -1,0 +1,26 @@
+package httpapi
+
+import "testing"
+
+func TestRetryAfterFrom(t *testing.T) {
+	cases := []struct {
+		name  string
+		depth int
+		rate  float64
+		want  int
+	}{
+		{"no observed rate", 10, 0, 1},
+		{"negative rate", 10, -1, 1},
+		{"backlog over rate rounds up", 10, 5, 3},      // (10+1)/5 = 2.2 → 3
+		{"fast pool floors at one second", 2, 1000, 1}, // 3ms of backlog
+		{"deep queue clamps at thirty", 10_000, 1, 30}, // honest answer is hours
+		{"empty queue still says one", 0, 2, 1},        // (0+1)/2 = 0.5 → 1
+		{"exact division has no off-by-one", 9, 5, 2},  // (9+1)/5 = 2
+	}
+	for _, c := range cases {
+		if got := retryAfterFrom(c.depth, c.rate); got != c.want {
+			t.Errorf("%s: retryAfterFrom(%d, %v) = %d, want %d",
+				c.name, c.depth, c.rate, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRateTrackerEmptyReportsZero(t *testing.T) {
+	var rt rateTracker
+	if r := rt.rate(time.Now()); r != 0 {
+		t.Fatalf("rate with no completions = %v, want 0", r)
+	}
+}
+
+func TestRateTrackerSteadyCompletions(t *testing.T) {
+	var rt rateTracker
+	base := time.Unix(1000, 0)
+	// Ten completions spaced 100ms apart: 10 jobs over the 1s window
+	// ending "now".
+	for i := 0; i < 10; i++ {
+		rt.record(base.Add(time.Duration(i+1) * 100 * time.Millisecond))
+	}
+	got := rt.rate(base.Add(1100 * time.Millisecond))
+	if got < 9 || got > 11 {
+		t.Fatalf("rate = %v jobs/s, want ~10", got)
+	}
+}
+
+func TestRateTrackerDecaysWhileIdle(t *testing.T) {
+	var rt rateTracker
+	base := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		rt.record(base.Add(time.Duration(i) * 100 * time.Millisecond))
+	}
+	busy := rt.rate(base.Add(time.Second))
+	idle := rt.rate(base.Add(30 * time.Second))
+	if idle >= busy/10 {
+		t.Fatalf("idle rate %v did not decay from busy rate %v", idle, busy)
+	}
+}
+
+func TestRateTrackerRingKeepsNewestWindow(t *testing.T) {
+	var rt rateTracker
+	base := time.Unix(1000, 0)
+	// Overfill the ring: 100 completions, one per 10ms. Only the newest
+	// 64 remain, so the window spans 640ms, not a second.
+	for i := 0; i < 100; i++ {
+		rt.record(base.Add(time.Duration(i+1) * 10 * time.Millisecond))
+	}
+	now := base.Add(time.Second)
+	got := rt.rate(now)
+	// 64 completions over the 630ms window (oldest retained at 370ms):
+	// ~101 jobs/s.
+	if got < 90 || got > 115 {
+		t.Fatalf("rate over the retained window = %v jobs/s, want ~101", got)
+	}
+}
+
+// TestDrainRateVisibleAfterJobs pins the public surface: completions
+// recorded by the worker pool show up through Engine.DrainRate.
+func TestDrainRateVisibleAfterJobs(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1})
+	submitGateBatch(t, e, 3)
+	if r := e.DrainRate(); r <= 0 {
+		t.Fatalf("DrainRate after 3 completed jobs = %v, want > 0", r)
+	}
+}
