@@ -14,6 +14,33 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== docs link check =="
+# Every relative markdown link in the user-facing docs must resolve to
+# a file or directory in the tree; external URLs and pure anchors are
+# out of scope.
+link_fail=0
+for f in *.md docs/*.md; do
+	[ -f "$f" ] || continue
+	case "$f" in
+	SNIPPETS.md | PAPERS.md | ISSUE.md) continue ;; # retrieval material, links point at their source repos
+	esac
+	dir="$(dirname "$f")"
+	for link in $(grep -o ']([^)]*)' "$f" | sed 's/^](//;s/)$//'); do
+		case "$link" in
+		http://* | https://* | mailto:* | \#*) continue ;;
+		esac
+		target="${link%%#*}"
+		[ -z "$target" ] && continue
+		if [ ! -e "$dir/$target" ]; then
+			echo "$f: broken relative link: $link"
+			link_fail=1
+		fi
+	done
+done
+if [ "$link_fail" -ne 0 ]; then
+	exit 1
+fi
+
 echo "== staticcheck =="
 if command -v staticcheck >/dev/null 2>&1; then
 	staticcheck ./...
@@ -198,6 +225,9 @@ go run ./cmd/uwm-bench -all -repeat 5 -json BENCH_ci.json >/dev/null
 
 echo "== gate-health bench report =="
 go run ./cmd/uwm-bench -health -json BENCH_health.json >/dev/null
+
+echo "== circuit pipeline bench report =="
+go run ./cmd/uwm-bench -circuit -json BENCH_circuit.json >/dev/null
 
 baseline="$(ls bench/BENCH_*.json 2>/dev/null | sort | tail -n 1)"
 if [ -n "$baseline" ]; then

@@ -54,6 +54,7 @@ func realMain(args []string) int {
 		extra     = fs.Bool("extra", false, "run extension experiments (WR covert-channel capacities)")
 		engineF   = fs.Bool("engine", false, "run the concurrent-engine throughput and vote-accuracy experiment")
 		healthF   = fs.Bool("health", false, "run the gate-health experiment (accuracy and margin vs injected noise)")
+		circuitF  = fs.Bool("circuit", false, "run the circuit optimizer + level-parallel scheduler experiment")
 		all       = fs.Bool("all", false, "reproduce every table and figure")
 		full      = fs.Bool("full", false, "use the paper's experiment sizes (slow)")
 		record    = fs.Bool("record", false, "use the EXPERIMENTS.md recording sizes (paper-sized where cheap)")
@@ -94,7 +95,7 @@ func realMain(args []string) int {
 		fmt.Fprintln(os.Stderr, "uwm-bench: -all already selects every table and figure; drop -table/-figure")
 		return 2
 	}
-	if !*all && *tableN == 0 && *figureN == 0 && !*ablation && !*extra && !*engineF && !*healthF {
+	if !*all && *tableN == 0 && *figureN == 0 && !*ablation && !*extra && !*engineF && !*healthF && !*circuitF {
 		fs.Usage()
 		return 2
 	}
@@ -140,6 +141,8 @@ func realMain(args []string) int {
 			return *engineF
 		case r.Name == "health":
 			return *healthF
+		case r.Name == "circuit":
+			return *circuitF
 		}
 		return false
 	}

@@ -1,0 +1,68 @@
+// The godoc audit: every package in the module is part of the
+// documentation surface DESIGN.md points into, so each one must carry
+// a substantive package comment. staticcheck's ST1000 enforces mere
+// presence in CI; this test runs everywhere `go test ./...` does and
+// additionally demands the comments say something.
+package uwm_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageCommentsSubstantive walks every Go package under
+// internal/, cmd/ and examples/ and fails when a package's comment is
+// missing or too thin to tell a reader what the package is for.
+func TestPackageCommentsSubstantive(t *testing.T) {
+	const minLen = 80 // runes of comment text; a sentence, not a stub
+
+	dirs := map[string]bool{}
+	for _, root := range []string{"internal", "cmd", "examples"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				dirs[filepath.Dir(path)] = true
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			var doc string
+			for _, f := range pkg.Files {
+				if f.Doc != nil && len(f.Doc.Text()) > len(doc) {
+					doc = f.Doc.Text()
+				}
+			}
+			doc = strings.TrimSpace(doc)
+			switch {
+			case doc == "":
+				t.Errorf("%s: package %s has no package comment", dir, name)
+			case len([]rune(doc)) < minLen:
+				t.Errorf("%s: package %s comment is %d chars, want >= %d: %q",
+					dir, name, len([]rune(doc)), minLen, doc)
+			case name != "main" && !strings.HasPrefix(doc, "Package "+name+" "):
+				t.Errorf("%s: package %s comment does not start with %q",
+					dir, name, "Package "+name)
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package circopt
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"uwm/internal/core"
+	"uwm/internal/metrics"
+)
+
+// Metric series exported by the plan cache and the evaluator pool.
+const (
+	MetricCacheHits    = "uwm_circopt_plan_cache_hits_total"
+	MetricCacheMisses  = "uwm_circopt_plan_cache_misses_total"
+	MetricCacheEntries = "uwm_circopt_plan_cache_entries"
+	MetricGatesIn      = "uwm_circopt_gates_in_total"
+	MetricGatesOut     = "uwm_circopt_gates_out_total"
+	MetricEvals        = "uwm_circopt_evals_total"
+	MetricGateOps      = "uwm_circopt_gate_ops_total"
+)
+
+// Cache is a content-addressed plan cache: plans are keyed on the
+// sha256 fingerprint of (canonical netlist, bindings), so a circuit
+// re-submitted by any client — or the same preset requested by every
+// worker of a pool — is optimized exactly once. Bounded LRU.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; element values are keys
+	entries map[string]*cacheEntry
+
+	hits, misses      atomic.Uint64
+	gatesIn, gatesOut atomic.Uint64
+}
+
+type cacheEntry struct {
+	plan *Plan
+	elem *list.Element
+}
+
+// NewCache builds a plan cache holding up to capacity plans
+// (default 64) and registers its instruments on reg when non-nil.
+func NewCache(capacity int, reg *metrics.Registry) *Cache {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	c := &Cache{cap: capacity, order: list.New(), entries: make(map[string]*cacheEntry)}
+	if reg != nil {
+		reg.CounterFunc(MetricCacheHits, "plans served from the content-addressed cache", c.hits.Load)
+		reg.CounterFunc(MetricCacheMisses, "plan-cache misses (fresh optimizations)", c.misses.Load)
+		reg.GaugeFunc(MetricCacheEntries, "plans resident in the cache", func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.entries))
+		})
+		reg.CounterFunc(MetricGatesIn, "source gates entering the optimizer", c.gatesIn.Load)
+		reg.CounterFunc(MetricGatesOut, "gates surviving optimization", c.gatesOut.Load)
+	}
+	return c
+}
+
+// Plan returns the optimized plan for (spec, opts), optimizing on a
+// miss. The second return reports whether the plan was served from
+// the cache. Plans are immutable once built; callers share them.
+func (c *Cache) Plan(spec *core.CircuitSpec, opts Options) (*Plan, bool, error) {
+	key, err := Fingerprint(spec, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.order.MoveToFront(e.elem)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return e.plan, true, nil
+	}
+	c.mu.Unlock()
+
+	// Optimize outside the lock: plans are deterministic functions of
+	// the key, so a racing duplicate computes an identical plan and
+	// the second insert is a harmless overwrite.
+	plan, err := Optimize(spec, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	c.misses.Add(1)
+	c.gatesIn.Add(uint64(plan.Stats.GatesIn))
+	c.gatesOut.Add(uint64(plan.Stats.GatesOut))
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.order.MoveToFront(e.elem)
+		c.mu.Unlock()
+		return e.plan, false, nil
+	}
+	c.entries[key] = &cacheEntry{plan: plan, elem: c.order.PushFront(key)}
+	for len(c.entries) > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(string))
+	}
+	c.mu.Unlock()
+	return plan, false, nil
+}
+
+// Stats returns the hit/miss counters and the resident plan count.
+func (c *Cache) Stats() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	entries = len(c.entries)
+	c.mu.Unlock()
+	return c.hits.Load(), c.misses.Load(), entries
+}

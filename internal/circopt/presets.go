@@ -1,0 +1,41 @@
+package circopt
+
+import (
+	"fmt"
+	"sort"
+
+	"uwm/internal/core"
+	"uwm/internal/walu"
+)
+
+// presets are the named, ready-made netlists the engine's circuit job
+// type and the CircuitThroughput experiment evaluate. All of them come
+// from package walu's arithmetic builders.
+var presets = map[string]func() (*core.CircuitSpec, error){
+	"adder8":    func() (*core.CircuitSpec, error) { return walu.AdderSpec(8, false) },
+	"adder16":   func() (*core.CircuitSpec, error) { return walu.AdderSpec(16, false) },
+	"adder32":   func() (*core.CircuitSpec, error) { return walu.WideAdderSpec(32) },
+	"sha1round": walu.SHA1RoundSpec,
+}
+
+// Preset builds a named netlist: adder8, adder16, adder32 (ripple-
+// carry adders over 2n inputs) or sha1round (one SHA-1 Ch-round over
+// a,b,c,d,e,w,k words — §5's weird SHA-1, one round as a flat
+// netlist).
+func Preset(name string) (*core.CircuitSpec, error) {
+	build, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("circopt: unknown circuit preset %q (have %v)", name, PresetNames())
+	}
+	return build()
+}
+
+// PresetNames returns the available preset names, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"uwm/internal/circopt"
 	"uwm/internal/evlog"
 	"uwm/internal/flightrec"
 	"uwm/internal/health"
@@ -96,13 +97,9 @@ func (p RetryPolicy) normalized() RetryPolicy {
 // and chain breaks) draw a fixed number of times per activation, which
 // keeps per-job streams aligned while preserving the paper's error
 // bands (TSX gates stay in the 0.92–0.99 accuracy range that makes
-// vote-of-3 worth paying for).
-func DefaultNoise() noise.Config {
-	cfg := noise.PaperIsolated()
-	cfg.MemJitterStdDev = 0
-	cfg.WindowJitterStdDev = 0
-	return cfg
-}
+// vote-of-3 worth paying for). It is noise.Replayable, re-exported
+// under the name engine callers have always used.
+func DefaultNoise() noise.Config { return noise.Replayable() }
 
 // Config parameterizes an Engine.
 type Config struct {
@@ -251,6 +248,7 @@ type Engine struct {
 	wg       sync.WaitGroup
 
 	rejected *metrics.Counter
+	plans    *circopt.Cache
 	flight   *flightrec.Recorder
 	slos     *slo.Engine
 	log      *evlog.Logger
@@ -335,9 +333,12 @@ func New(cfg Config) (*Engine, error) {
 		jobs:     make(map[string]*Job),
 		baseCtx:  ctx,
 		hardStop: cancel,
-		flight:   cfg.FlightRec,
-		slos:     cfg.SLO,
-		log:      cfg.Log,
+		// One plan cache for the whole pool: plans are immutable once
+		// optimized and keyed by content, so every worker can share them.
+		plans:  circopt.NewCache(0, cfg.Metrics),
+		flight: cfg.FlightRec,
+		slos:   cfg.SLO,
+		log:    cfg.Log,
 	}
 	e.registerMetrics()
 	for _, rig := range rigs {
@@ -811,7 +812,7 @@ func (e *Engine) attempts(ctx context.Context, rig *Rig, j *Job, tally *gateTall
 		// seed: redundant attempts must rerun the same inputs under
 		// fresh machine noise, or voting would compare apples to
 		// oranges and random-input jobs could never reach quorum.
-		env := &Env{rig: rig, rng: noise.NewRNG(noise.SubSeed(j.subSeed, ^uint64(0))), seed: seed, gate: tally}
+		env := &Env{rig: rig, rng: noise.NewRNG(noise.SubSeed(j.subSeed, ^uint64(0))), seed: seed, gate: tally, plans: e.plans}
 		sp := rig.Machine.BeginSpan("job:" + j.spec.Type)
 		rig.Machine.Annotate(j.annotation())
 		value, panicked, err := runHandler(ctx, h, env, j.spec.Params)

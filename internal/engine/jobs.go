@@ -10,7 +10,10 @@ import (
 	"sort"
 	"sync"
 
+	"uwm/internal/circopt"
+	"uwm/internal/core"
 	"uwm/internal/covert"
+	"uwm/internal/noise"
 	"uwm/internal/sha1wm"
 	"uwm/internal/wmapt"
 )
@@ -25,19 +28,21 @@ type Handler func(ctx context.Context, env *Env, params json.RawMessage) (any, e
 
 // Built-in job types.
 const (
-	JobTypeGate   = "gate"
-	JobTypeSHA1   = "sha1"
-	JobTypeAPT    = "apt"
-	JobTypeCovert = "covert"
+	JobTypeGate    = "gate"
+	JobTypeSHA1    = "sha1"
+	JobTypeAPT     = "apt"
+	JobTypeCovert  = "covert"
+	JobTypeCircuit = "circuit"
 )
 
 var (
 	handlersMu sync.RWMutex
 	handlers   = map[string]Handler{
-		JobTypeGate:   runGateJob,
-		JobTypeSHA1:   runSHA1Job,
-		JobTypeAPT:    runAPTJob,
-		JobTypeCovert: runCovertJob,
+		JobTypeGate:    runGateJob,
+		JobTypeSHA1:    runSHA1Job,
+		JobTypeAPT:     runAPTJob,
+		JobTypeCovert:  runCovertJob,
+		JobTypeCircuit: runCircuitJob,
 	}
 )
 
@@ -417,4 +422,177 @@ func popcount8(b byte) int {
 		n++
 	}
 	return n
+}
+
+// --- circuit jobs ------------------------------------------------------
+
+// CircuitParams selects a netlist — a named preset (see
+// circopt.PresetNames) or an explicit spec — and the input vectors to
+// evaluate it on.
+type CircuitParams struct {
+	// Circuit names a built-in netlist preset (adder8, adder16,
+	// adder32, sha1round); default adder8. Mutually exclusive with
+	// Spec.
+	Circuit string `json:"circuit,omitempty"`
+	// Spec is an explicit netlist in circopt's canonical JSON shape.
+	Spec *circopt.SpecJSON `json:"spec,omitempty"`
+	// Inputs lists explicit input vectors, one evaluation per vector.
+	Inputs [][]int `json:"inputs,omitempty"`
+	// Random adds this many uniformly drawn vectors (from the attempt's
+	// derived RNG) when Inputs is empty; default 4.
+	Random int `json:"random,omitempty"`
+	// Optimize runs the circuit through the circopt pipeline and the
+	// engine's shared plan cache (default true). Setting it false runs
+	// the unoptimized serial walk — byte-identical outputs under the
+	// default noise profile, just more gate activations.
+	Optimize *bool `json:"optimize,omitempty"`
+	// MinAccuracy, when positive, fails the attempt when the per-bit
+	// accuracy against the architectural evaluation lands below it.
+	MinAccuracy float64 `json:"min_accuracy,omitempty"`
+}
+
+// CircuitResult reports the weird evaluation next to the architectural
+// truth, plus what the optimizer did to the netlist. Every field is a
+// deterministic function of the netlist, the params and the attempt
+// seed, so redundant attempts vote cleanly; cache hit/miss state is
+// deliberately absent (it depends on which attempt warmed the cache)
+// and is observable through the uwm_circopt_plan_cache_* metrics
+// instead.
+type CircuitResult struct {
+	Circuit     string  `json:"circuit"`
+	Fingerprint string  `json:"fingerprint"`
+	GatesIn     int     `json:"gates_in"`
+	GatesOut    int     `json:"gates_out"`
+	Eliminated  int     `json:"eliminated"`
+	Levels      int     `json:"levels"`
+	Outputs     [][]int `json:"outputs"`
+	Golden      [][]int `json:"golden"`
+	Correct     int     `json:"correct"`
+	Total       int     `json:"total"`
+	Accuracy    float64 `json:"accuracy"`
+}
+
+func runCircuitJob(ctx context.Context, env *Env, params json.RawMessage) (any, error) {
+	var p CircuitParams
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	if p.Spec != nil && p.Circuit != "" {
+		return nil, fmt.Errorf("engine: circuit job takes circuit or spec, not both")
+	}
+	var spec *core.CircuitSpec
+	var err error
+	name := p.Circuit
+	if p.Spec != nil {
+		name = "custom"
+		spec, err = p.Spec.DecodeSpec()
+	} else {
+		if name == "" {
+			name = "adder8"
+		}
+		spec, err = circopt.Preset(name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("engine: circuit job: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: circuit netlist: %w", err)
+	}
+
+	inputs := p.Inputs
+	if len(inputs) == 0 {
+		n := p.Random
+		if n <= 0 {
+			n = 4
+		}
+		rng := env.RNG()
+		inputs = make([][]int, n)
+		for i := range inputs {
+			vec := make([]int, spec.NumInputs)
+			for k := range vec {
+				vec[k] = rng.Bit()
+			}
+			inputs[i] = vec
+		}
+	}
+	for _, in := range inputs {
+		if len(in) != spec.NumInputs {
+			return nil, fmt.Errorf("engine: circuit %s wants %d inputs, got %d", name, spec.NumInputs, len(in))
+		}
+	}
+
+	// Netlists run thousands of gate activations; the checkpoint makes
+	// each one a cancellation point, like the SHA-1 job.
+	sk := env.Rig().Skelly
+	sk.SetCheckpoint(ctx.Err)
+	defer sk.SetCheckpoint(nil)
+
+	res := CircuitResult{Circuit: name}
+	var outs [][]int
+	if p.Optimize == nil || *p.Optimize {
+		var plan *circopt.Plan
+		if c := env.Plans(); c != nil {
+			plan, _, err = c.Plan(spec, circopt.Options{})
+		} else {
+			plan, err = circopt.Optimize(spec, circopt.Options{})
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Fingerprint = plan.Fingerprint
+		res.GatesIn = plan.Stats.GatesIn
+		res.GatesOut = plan.Stats.GatesOut
+		res.Eliminated = plan.Stats.Eliminated()
+		res.Levels = plan.Stats.Levels
+		outs, err = sk.EvalPlanBatch(plan, inputs, env.Seed())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Unoptimized serial walk under the same per-vector seed
+		// schedule. The value-number stream discipline (see circopt's
+		// package doc) makes this byte-identical to the optimized path
+		// under the engine's replayable noise profile.
+		if res.Fingerprint, err = circopt.Fingerprint(spec, circopt.Options{}); err != nil {
+			return nil, err
+		}
+		res.GatesIn = len(spec.Gates)
+		res.GatesOut = len(spec.Gates)
+		outs = make([][]int, len(inputs))
+		for v, in := range inputs {
+			if outs[v], err = sk.EvalSpec(spec, in, noise.SubSeed(env.Seed(), uint64(v))); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res.Outputs = outs
+	res.Golden = make([][]int, len(inputs))
+	for v, in := range inputs {
+		golden, err := spec.Eval(in)
+		if err != nil {
+			return nil, err
+		}
+		res.Golden[v] = golden
+		for i := range golden {
+			res.Total++
+			if outs[v][i] == golden[i] {
+				res.Correct++
+			}
+		}
+	}
+	if res.Total > 0 {
+		res.Accuracy = float64(res.Correct) / float64(res.Total)
+	}
+	// Health and SLO accounting mirror the gate job: outcomes land
+	// before the quality floor can veto the attempt.
+	if h := env.Rig().Health; h != nil {
+		h.ObserveOutcome("CIRCUIT:"+name, res.Correct, res.Total)
+	}
+	env.RecordGateOutcome(res.Correct, res.Total)
+	if p.MinAccuracy > 0 && res.Accuracy < p.MinAccuracy {
+		return nil, fmt.Errorf("engine: circuit %s accuracy %.3f below floor %.3f (%d/%d bits correct)",
+			name, res.Accuracy, p.MinAccuracy, res.Correct, res.Total)
+	}
+	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"uwm/internal/circopt"
 	"uwm/internal/core"
 	"uwm/internal/flightrec"
 	"uwm/internal/health"
@@ -113,10 +114,11 @@ type gateTally struct {
 // plus the job attempt's derived randomness. The machine's noise
 // stream has already been re-pinned to Seed when the handler runs.
 type Env struct {
-	rig  *Rig
-	rng  *noise.RNG
-	seed uint64
-	gate *gateTally
+	rig   *Rig
+	rng   *noise.RNG
+	seed  uint64
+	gate  *gateTally
+	plans *circopt.Cache
 }
 
 // RecordGateOutcome reports a handler's per-op gate accuracy (correct
@@ -146,6 +148,11 @@ func (e *Env) RNG() *noise.RNG { return e.rng }
 // their own machine (the APT transform does) instead of using the
 // pinned one.
 func (e *Env) Seed() uint64 { return e.seed }
+
+// Plans returns the engine's shared content-addressed plan cache, or
+// nil when the env was built outside an engine. Handlers fall back to
+// a direct circopt.Optimize in that case — same plan, no reuse.
+func (e *Env) Plans() *circopt.Cache { return e.plans }
 
 // lockedSink serializes trace emission from concurrent worker
 // machines onto one shared sink (a -trace-out file, the -cycleprof

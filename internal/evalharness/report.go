@@ -80,6 +80,7 @@ func Registry() []Registered {
 		{Name: "extra", Run: fromTable("extra", ExtraChannels)},
 		{Name: "engine", Run: fromTable("engine", EngineThroughput)},
 		{Name: "health", Run: fromTable("health", GateHealth)},
+		{Name: "circuit", Run: fromTable("circuit", CircuitThroughput)},
 	}
 }
 

@@ -243,6 +243,22 @@ func PaperIsolated() Config {
 	return cfg
 }
 
+// Replayable returns the PaperIsolated profile with the two
+// history-coupled jitter processes (window placement, DRAM latency)
+// disabled. Those two draw from the noise stream in a way that depends
+// on how much earlier work the machine performed, so disabling them is
+// what makes a result a pure function of (machine construction, pinned
+// sub-seed): the property behind the engine's byte-identical
+// serial-vs-pooled guarantee and circopt's order-independent gate
+// scheduling. Everything else — timer jitter, outliers, evictions,
+// spurious aborts — stays at the paper's isolated-core levels.
+func Replayable() Config {
+	cfg := PaperIsolated()
+	cfg.WindowJitterStdDev = 0
+	cfg.MemJitterStdDev = 0
+	return cfg
+}
+
 // Noisy returns a deliberately hostile configuration (busy machine, no
 // core isolation), used by ablation benchmarks to show gate accuracy
 // degrading without the paper's §6.1 system setup.

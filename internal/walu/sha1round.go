@@ -1,0 +1,66 @@
+package walu
+
+import "uwm/internal/core"
+
+// SHA1RoundSpec builds one SHA-1 compression round as a flat netlist —
+// the paper's weird SHA-1 (§5) spends 80 of these per block, chained
+// gate by gate. Inputs are seven 32-bit words, LSB-first: the state
+// a, b, c, d, e, the schedule word w and the round constant k
+// (7 × 32 = 224 input wires). Outputs are the rotated next state
+// a', b', c', d', e' (160 wires):
+//
+//	a' = (a <<< 5) + f(b,c,d) + e + k + w   (mod 2³²)
+//	b' = a,  c' = b <<< 30,  d' = c,  e' = d
+//
+// with the Ch round function of rounds 0–19, f = (b ∧ c) ∨ (¬b ∧ d).
+// Rotations are pure rewiring; the four word additions are ripple
+// chains. Binding the k inputs to a known round constant via
+// circopt.Options.Bind lets constant folding collapse most of one
+// full adder — the folding case the CircuitThroughput experiment
+// reports.
+func SHA1RoundSpec() (*core.CircuitSpec, error) {
+	s := core.NewCircuitSpec(7 * 32)
+	word := func(idx int) []core.WireID {
+		w := make([]core.WireID, 32)
+		for i := range w {
+			w[i] = core.WireID(idx*32 + i)
+		}
+		return w
+	}
+	a, b, c, d, e := word(0), word(1), word(2), word(3), word(4)
+	w, k := word(5), word(6)
+
+	// rotl rewires x left-rotated by n: result bit i is x's bit
+	// (i-n) mod 32 (LSB-first layout).
+	rotl := func(x []core.WireID, n int) []core.WireID {
+		out := make([]core.WireID, 32)
+		for i := range out {
+			out[i] = x[((i-n)%32+32)%32]
+		}
+		return out
+	}
+
+	// f = Ch(b, c, d), bitwise.
+	f := make([]core.WireID, 32)
+	for i := 0; i < 32; i++ {
+		bc := s.And(b[i], c[i])
+		nbd := s.And(s.Not(b[i]), d[i])
+		f[i] = s.Or(bc, nbd)
+	}
+
+	add := func(x, y []core.WireID) []core.WireID {
+		sums, _ := rippleAdd(s, x, y) // mod 2³²: carry-out dropped (dead wire)
+		return sums
+	}
+	t := add(rotl(a, 5), f)
+	t = add(t, e)
+	t = add(t, k)
+	t = add(t, w)
+
+	for _, grp := range [][]core.WireID{t, a, rotl(b, 30), c, d} {
+		for _, wire := range grp {
+			s.Output(wire)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,95 @@
+package walu
+
+import (
+	"math/bits"
+	"testing"
+
+	"uwm/internal/noise"
+)
+
+func bitsOfWord(v uint32) []int {
+	out := make([]int, 32)
+	for i := range out {
+		out[i] = int(v >> uint(i) & 1)
+	}
+	return out
+}
+
+func wordOfBits(b []int) uint32 {
+	var v uint32
+	for i, bit := range b {
+		if bit != 0 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func TestWideAdderSpecGolden(t *testing.T) {
+	spec, err := WideAdderSpec(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := noise.NewRNG(41)
+	for trial := 0; trial < 32; trial++ {
+		a, b := uint32(rng.Uint64()), uint32(rng.Uint64())
+		in := append(bitsOfWord(a), bitsOfWord(b)...)
+		out, err := spec.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := wordOfBits(out[:32])
+		carry := out[32]
+		wide := uint64(a) + uint64(b)
+		if sum != uint32(wide) || carry != int(wide>>32) {
+			t.Fatalf("%#x + %#x: got sum %#x carry %d, want %#x carry %d",
+				a, b, sum, carry, uint32(wide), wide>>32)
+		}
+	}
+
+	if _, err := WideAdderSpec(0); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := WideAdderSpec(65); err == nil {
+		t.Error("width 65 accepted")
+	}
+}
+
+func TestSHA1RoundSpecGolden(t *testing.T) {
+	spec, err := SHA1RoundSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := noise.NewRNG(43)
+	for trial := 0; trial < 16; trial++ {
+		words := make([]uint32, 7) // a, b, c, d, e, w, k
+		var in []int
+		for i := range words {
+			words[i] = uint32(rng.Uint64())
+			in = append(in, bitsOfWord(words[i])...)
+		}
+		a, b, c, d, e, w, k := words[0], words[1], words[2], words[3], words[4], words[5], words[6]
+		out, err := spec.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := (b & c) | (^b & d) // Ch, rounds 0-19
+		wantA := bits.RotateLeft32(a, 5) + f + e + k + w
+		got := make([]uint32, 5)
+		for i := range got {
+			got[i] = wordOfBits(out[i*32 : (i+1)*32])
+		}
+		want := []uint32{wantA, a, bits.RotateLeft32(b, 30), c, d}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: state word %d = %#x, want %#x", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package walu
+
+import (
+	"fmt"
+
+	"uwm/internal/core"
+)
+
+// WideAdderSpec builds an n-bit ripple-carry adder netlist (inputs
+// a0..a(n-1), b0..b(n-1); outputs sum bits LSB-first then carry-out)
+// for widths up to 64. Unlike AdderSpec it inserts no fan-out buffers
+// and is not meant for core.CompileCircuit's transaction chains — it
+// targets the gate-by-gate plan evaluators (internal/circopt), which
+// hold intermediate wires architecturally and have no physical fan-out
+// bound. The per-bit carry logic deliberately re-derives AND(a,b),
+// which the Xor synthesis already computed: common-subexpression
+// elimination merges the twins, one of the eliminations the
+// CircuitThroughput experiment measures.
+func WideAdderSpec(bits int) (*core.CircuitSpec, error) {
+	if bits < 1 || bits > 64 {
+		return nil, fmt.Errorf("walu: wide adder width %d outside [1,64]", bits)
+	}
+	s := core.NewCircuitSpec(2 * bits)
+	a := make([]core.WireID, bits)
+	b := make([]core.WireID, bits)
+	for i := 0; i < bits; i++ {
+		a[i], b[i] = core.WireID(i), core.WireID(bits+i)
+	}
+	sums, carry := rippleAdd(s, a, b)
+	for _, w := range sums {
+		s.Output(w)
+	}
+	s.Output(carry)
+	return s, nil
+}
+
+// rippleAdd appends a ripple-carry adder over two equal-width wire
+// vectors and returns the sum bits (LSB-first) and the carry-out.
+func rippleAdd(s *core.CircuitSpec, a, b []core.WireID) (sums []core.WireID, carry core.WireID) {
+	carry = core.WireID(-1)
+	for i := range a {
+		x := s.Xor(a[i], b[i])
+		if carry < 0 {
+			sums = append(sums, x)
+			carry = s.And(a[i], b[i])
+			continue
+		}
+		sums = append(sums, s.Xor(x, carry))
+		carry = s.Or(s.And(a[i], b[i]), s.And(carry, x))
+	}
+	return sums, carry
+}
